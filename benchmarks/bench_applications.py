@@ -1,0 +1,220 @@
+"""Experiments BD, LST, SPAN, EMB — the application-layer reproductions.
+
+Each of the applications the paper's introduction motivates consumes the
+decomposition through the public API; these benches regenerate the headline
+quantity of each:
+
+- BD:   Linial–Saks blocks — count vs the ⌈log₂ m⌉ bound (paper §2);
+- LST:  AKPW low-stretch trees — average stretch vs the BFS-tree baseline;
+- SPAN: cluster spanners — size/stretch trade-off across β;
+- EMB:  HST embeddings — expected distortion across graph families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blockdecomp import block_decomposition
+from repro.core.theory import blockdecomp_iteration_bound
+from repro.embeddings import build_hst, hierarchical_decomposition, measure_distortion
+from repro.graphs.generators import (
+    erdos_renyi,
+    grid_2d,
+    hypercube,
+    torus_2d,
+)
+from repro.lowstretch import akpw_spanning_tree, bfs_spanning_tree, stretch_report
+from repro.spanners import ldd_spanner, measure_spanner_stretch
+
+from common import Table
+
+
+class TestBlockDecomposition:
+    def test_block_count_vs_log_bound(self):
+        table = Table(
+            "BD: Linial-Saks blocks vs ceil(log2 m) (beta=1/2 per round)",
+            ["graph", "m", "blocks", "log2_bound", "largest_block_frac"],
+        )
+        for name, graph in [
+            ("grid 30x30", grid_2d(30, 30)),
+            ("torus 25x25", torus_2d(25, 25)),
+            ("er n=600", erdos_renyi(600, 0.01, seed=1)),
+        ]:
+            bd = block_decomposition(graph, seed=2)
+            bound = blockdecomp_iteration_bound(graph.num_edges)
+            counts = bd.block_edge_counts()
+            table.add(
+                name,
+                graph.num_edges,
+                bd.num_blocks,
+                bound,
+                float(counts[0] / graph.num_edges),
+            )
+            assert bd.num_blocks <= 2 * bound
+        table.show()
+
+    def test_geometric_decay_of_block_sizes(self):
+        graph = grid_2d(30, 30)
+        bd = block_decomposition(graph, seed=3)
+        counts = bd.block_edge_counts().astype(float)
+        # Cumulative leftover halves (in expectation) per iteration.
+        leftover = graph.num_edges - np.cumsum(counts)
+        table = Table(
+            "BD-decay: edges left after each block (grid 30x30)",
+            ["block", "edges_in_block", "left_after"],
+        )
+        for i, (c, l) in enumerate(zip(counts, leftover)):
+            table.add(i, int(c), int(l))
+        table.show()
+        mid = len(leftover) // 2
+        if mid >= 1:
+            assert leftover[mid] < graph.num_edges * (0.75**mid)
+
+    def test_blockdecomp_timing(self, benchmark):
+        graph = grid_2d(20, 20)
+        benchmark(lambda: block_decomposition(graph, seed=0))
+
+
+class TestLowStretchTrees:
+    def test_stretch_vs_bfs_baseline(self):
+        table = Table(
+            "LST: AKPW vs BFS-tree average stretch (5 seeds each)",
+            ["graph", "akpw_mean", "bfs_mean", "akpw_max", "bfs_max"],
+        )
+        # Per-family acceptance factors: AKPW should match/beat BFS trees on
+        # high-diameter lattices; on hypercubes BFS trees are already near
+        # optimal (every vertex at distance ≤ d), so parity-with-slack is
+        # the honest expectation.
+        factors = {"torus 16x16": 1.25, "grid 25x25": 1.3, "hypercube 9": 2.0}
+        for name, graph in [
+            ("torus 16x16", torus_2d(16, 16)),
+            ("grid 25x25", grid_2d(25, 25)),
+            ("hypercube 9", hypercube(9)),
+        ]:
+            a_mean, b_mean, a_max, b_max = [], [], [], []
+            for seed in range(5):
+                t1 = akpw_spanning_tree(graph, beta=0.4, seed=seed).forest
+                t2 = bfs_spanning_tree(graph, seed=seed)
+                r1 = stretch_report(graph, t1)
+                r2 = stretch_report(graph, t2)
+                a_mean.append(r1.mean)
+                b_mean.append(r2.mean)
+                a_max.append(r1.max)
+                b_max.append(r2.max)
+            table.add(
+                name,
+                float(np.mean(a_mean)),
+                float(np.mean(b_mean)),
+                float(np.mean(a_max)),
+                float(np.mean(b_max)),
+            )
+            # AKPW must at least match the baseline on average stretch.
+            assert np.mean(a_mean) <= np.mean(b_mean) * factors[name]
+        table.show()
+
+    def test_stretch_vs_beta_tradeoff(self):
+        graph = torus_2d(16, 16)
+        table = Table(
+            "LST-beta: AKPW stretch and level count vs beta (torus 16x16)",
+            ["beta", "levels", "mean_stretch", "max_stretch"],
+        )
+        for beta in (0.2, 0.4, 0.6):
+            res = akpw_spanning_tree(graph, beta=beta, seed=7)
+            rep = stretch_report(graph, res.forest)
+            table.add(beta, res.num_levels, rep.mean, rep.max)
+        table.show()
+
+    def test_akpw_timing(self, benchmark):
+        graph = grid_2d(25, 25)
+        benchmark(lambda: akpw_spanning_tree(graph, beta=0.4, seed=0))
+
+
+class TestSpanners:
+    def test_size_stretch_tradeoff(self):
+        # Hypercube-9: m/n = 4.5, so sparsification is visible.  With
+        # ln(n)/β below the diameter (small β) a single piece swallows the
+        # cube and the spanner is one BFS tree — the β sweep must reach the
+        # fragmenting regime (β ≥ 0.6) to trade size back for stretch.
+        graph = hypercube(9)
+        table = Table(
+            "SPAN: spanner size vs stretch across beta (hypercube d=9)",
+            ["beta", "pieces", "size_ratio", "bound_4r+1", "measured_max", "mean"],
+        )
+        for beta in (0.1, 0.6, 0.9):
+            res = ldd_spanner(graph, beta, seed=4)
+            rep = measure_spanner_stretch(
+                graph, res.spanner, max_sources=60, seed=2
+            )
+            table.add(
+                beta,
+                res.decomposition.num_pieces,
+                res.size_ratio(),
+                res.stretch_bound,
+                rep.max,
+                rep.mean,
+            )
+            assert rep.max <= res.stretch_bound
+            assert res.size_ratio() < 0.5  # always well under m
+        table.show()
+
+    def test_spanner_on_grid_keeps_most_edges(self):
+        # Grids are already sparse: the spanner keeps ~n of ~2n edges.
+        graph = grid_2d(30, 30)
+        res = ldd_spanner(graph, 0.1, seed=3)
+        table = Table(
+            "SPAN-grid: composition (grid 30x30, beta=0.1)",
+            ["tree_edges", "bridge_edges", "total", "orig_m"],
+        )
+        table.add(
+            res.num_tree_edges,
+            res.num_bridge_edges,
+            res.num_edges,
+            graph.num_edges,
+        )
+        table.show()
+        assert res.num_edges <= graph.num_edges
+
+    def test_spanner_timing(self, benchmark):
+        graph = hypercube(8)
+        benchmark(lambda: ldd_spanner(graph, 0.2, seed=0))
+
+
+class TestEmbeddings:
+    def test_distortion_across_families(self):
+        table = Table(
+            "EMB: HST expected distortion (hierarchical shifted LDD)",
+            ["graph", "levels", "mean_ratio", "median", "contraction_frac"],
+        )
+        # Contraction thresholds per family: on low-diameter expanders most
+        # distances are near the diameter, so the simplified top-down
+        # hierarchy contracts more pairs than on lattices (where it is the
+        # FRT-style regime).  EXPERIMENTS.md records this deviation.
+        contraction_limits = {
+            "grid 20x20": 0.25,
+            "er n=300": 0.5,
+            "hypercube 8": 0.5,
+        }
+        for name, graph in [
+            ("grid 20x20", grid_2d(20, 20)),
+            ("er n=300", erdos_renyi(300, 0.02, seed=4)),
+            ("hypercube 8", hypercube(8)),
+        ]:
+            h = hierarchical_decomposition(graph, seed=5)
+            rep = measure_distortion(
+                graph, build_hst(h), num_sources=6, seed=6
+            )
+            table.add(
+                name,
+                h.num_levels,
+                rep.mean_ratio,
+                rep.median_ratio,
+                rep.contraction_fraction,
+            )
+            assert rep.mean_ratio >= 1.0
+            assert rep.contraction_fraction < contraction_limits[name]
+        table.show()
+
+    def test_hierarchy_timing(self, benchmark):
+        graph = grid_2d(15, 15)
+        benchmark(lambda: hierarchical_decomposition(graph, seed=0))

@@ -1,0 +1,83 @@
+"""Experiment C45 — Corollary 4.5: expected cut edges ≤ O(βm), across
+graph families.
+
+The guarantee is worst-case over graphs, so the sweep covers structured
+(grid, torus), random (ER, regular), hub-heavy (BA), and community (SBM)
+topologies.  The report shows cut_fraction/β — the effective constant —
+which the paper's analysis bounds by 1 (via 1 − exp(−β) < β).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ldd_bfs import partition_bfs
+from repro.graphs.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    grid_2d,
+    random_regular,
+    stochastic_block_model,
+    torus_2d,
+)
+
+from common import Table, mean_and_sem
+
+FAMILIES = {
+    "grid": lambda: grid_2d(40, 40),
+    "torus": lambda: torus_2d(35, 35),
+    "er": lambda: erdos_renyi(1200, 0.004, seed=1),
+    "regular": lambda: random_regular(1200, 4, seed=2),
+    "ba": lambda: barabasi_albert(1000, 3, seed=3),
+    "sbm": lambda: stochastic_block_model([300, 300, 300], 0.02, 0.001, seed=4),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_cut_fraction_bounded_per_family(family):
+    graph = FAMILIES[family]()
+    trials = 10
+    table = Table(
+        f"C45: cut fraction vs beta ({family}, n={graph.num_vertices}, "
+        f"m={graph.num_edges})",
+        ["beta", "cut_frac", "sem", "cut_frac/beta"],
+    )
+    for beta in (0.02, 0.05, 0.1, 0.2):
+        fracs = [
+            partition_bfs(graph, beta, seed=s)[0].cut_fraction()
+            for s in range(trials)
+        ]
+        mean, sem = mean_and_sem(fracs)
+        table.add(beta, mean, sem, mean / beta)
+        # Corollary 4.5's constant is 1; add sampling slack.
+        assert mean <= beta * 1.25 + 0.01, (family, beta, mean)
+    table.show()
+
+
+def test_cut_scales_linearly_in_beta():
+    """The cut/β ratio is flat: doubling β doubles the cut."""
+    graph = grid_2d(50, 50)
+    betas = np.asarray([0.025, 0.05, 0.1, 0.2])
+    means = []
+    for beta in betas:
+        fracs = [
+            partition_bfs(graph, float(beta), seed=s)[0].cut_fraction()
+            for s in range(8)
+        ]
+        means.append(float(np.mean(fracs)))
+    ratios = np.asarray(means) / betas
+    table = Table(
+        "C45-linear: cut fraction / beta flatness (grid 50x50)",
+        ["beta", "cut_frac", "ratio"],
+    )
+    for b, m, r in zip(betas, means, ratios):
+        table.add(float(b), m, float(r))
+    table.show()
+    assert ratios.max() <= 2.5 * ratios.min()
+
+
+def test_cut_measurement_throughput(benchmark):
+    graph = grid_2d(60, 60)
+    d, _ = partition_bfs(graph, 0.1, seed=0)
+    benchmark(d.cut_fraction)

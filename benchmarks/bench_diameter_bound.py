@@ -1,0 +1,84 @@
+"""Experiment DIA — the (β, O(log n/β)) strong-diameter guarantee.
+
+Per run, every piece radius is bounded by δ_max (deterministically, given
+the shifts), and δ_max ≤ (d+1)·ln n/β w.h.p. — so measured radii must sit
+below the w.h.p. curve, and strong diameters below twice it.  The report
+also shows the *effective constant* radius·β/ln n, which the paper's theory
+puts at O(1) and practice puts well under it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ldd_bfs import partition_bfs
+from repro.core.theory import whp_radius_bound
+from repro.core.verify import strong_diameters
+from repro.graphs.generators import (
+    erdos_renyi,
+    grid_2d,
+    random_regular,
+    torus_2d,
+)
+
+from common import Table
+
+FAMILIES = {
+    "grid": lambda: grid_2d(40, 40),
+    "torus": lambda: torus_2d(30, 30),
+    "er": lambda: erdos_renyi(900, 0.005, seed=5),
+    "regular": lambda: random_regular(900, 4, seed=6),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_radius_within_whp_bound(family):
+    graph = FAMILIES[family]()
+    n = graph.num_vertices
+    trials = 8
+    table = Table(
+        f"DIA: piece radius vs (d+1)ln(n)/beta ({family}, n={n})",
+        ["beta", "max_radius", "delta_max", "whp_bound", "radius*beta/ln_n"],
+    )
+    for beta in (0.05, 0.1, 0.2):
+        max_radius = 0
+        max_delta = 0.0
+        for seed in range(trials):
+            d, t = partition_bfs(graph, beta, seed=seed)
+            assert d.max_radius() <= t.delta_max  # per-run certificate
+            max_radius = max(max_radius, d.max_radius())
+            max_delta = max(max_delta, t.delta_max)
+        bound = whp_radius_bound(n, beta, d=1.0)
+        table.add(
+            beta,
+            max_radius,
+            max_delta,
+            bound,
+            max_radius * beta / np.log(n),
+        )
+        assert max_radius <= bound
+    table.show()
+
+
+def test_strong_diameter_at_most_twice_radius():
+    """Definition 1.1's diameter side, with exact per-piece diameters."""
+    graph = grid_2d(25, 25)
+    table = Table(
+        "DIA-exact: exact strong diameter vs radius (grid 25x25)",
+        ["beta", "max_radius", "max_diameter", "diam/rad"],
+    )
+    for beta in (0.1, 0.3):
+        d, _ = partition_bfs(graph, beta, seed=3)
+        diams = strong_diameters(d, exact=True)
+        radius = d.max_radius()
+        diameter = int(diams.max())
+        table.add(beta, radius, diameter, diameter / max(radius, 1))
+        assert diameter <= 2 * radius
+    table.show()
+
+
+def test_radius_measurement_throughput(benchmark):
+    graph = grid_2d(50, 50)
+    d, _ = partition_bfs(graph, 0.1, seed=0)
+    benchmark(d.max_radius)

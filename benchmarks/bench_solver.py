@@ -1,0 +1,101 @@
+"""Experiment SOLVE — the SDD-solver application ([9, 11]).
+
+The end-to-end payoff the paper's introduction promises: decomposition →
+low-stretch tree → (ultrasparsifier) preconditioner → fewer PCG iterations.
+Reported per preconditioner: iterations to 1e-8, plus the tree's total
+stretch (the condition-number proxy the theory bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi, grid_2d, torus_2d
+from repro.solvers import (
+    LaplacianSolver,
+    PRECONDITIONERS,
+    random_zero_sum_rhs,
+    residual_norm,
+)
+
+from common import Table
+
+
+def test_preconditioner_comparison():
+    table = Table(
+        "SOLVE: PCG iterations to rtol=1e-8 by preconditioner",
+        ["graph", "precond", "iterations", "converged", "tree_stretch"],
+    )
+    iteration_record: dict[tuple[str, str], int] = {}
+    for name, graph in [
+        ("grid 30x30", grid_2d(30, 30)),
+        ("torus 24x24", torus_2d(24, 24)),
+        ("er n=800", erdos_renyi(800, 0.006, seed=1)),
+    ]:
+        b = random_zero_sum_rhs(graph, seed=2)
+        for pc in PRECONDITIONERS:
+            solver = LaplacianSolver(graph, preconditioner=pc, seed=3)
+            res = solver.solve(b, rtol=1e-8, max_iterations=4000)
+            iteration_record[(name, pc)] = res.num_iterations
+            table.add(
+                name,
+                pc,
+                res.num_iterations,
+                res.converged,
+                solver.stats.tree_total_stretch,
+            )
+            assert res.converged, (name, pc)
+            assert residual_norm(solver.laplacian, res.x, b) < 1e-7
+    table.show()
+    # The paper-pipeline preconditioner must beat no preconditioning on the
+    # boundary-dominated grid (κ ~ n); on the torus and the ER expander
+    # plain CG already converges in ~50 iterations (small κ), so parity is
+    # the honest expectation there.  bench `SOLVE-scaling` below shows the
+    # advantage growing with size — the asymptotic claim.
+    assert (
+        iteration_record[("grid 30x30", "ultrasparse")]
+        < iteration_record[("grid 30x30", "none")]
+    )
+    for name in ("torus 24x24", "er n=800"):
+        assert (
+            iteration_record[(name, "ultrasparse")]
+            <= iteration_record[(name, "none")] + 5
+        )
+
+
+def test_iterations_scale_with_sqrt_condition():
+    """Unpreconditioned CG iterations grow with grid side (κ ~ n); the
+    ultrasparsifier flattens that growth."""
+    table = Table(
+        "SOLVE-scaling: iterations vs grid side",
+        ["side", "none", "ultrasparse", "ratio"],
+    )
+    ratios = []
+    for side in (16, 24, 32, 48):
+        graph = grid_2d(side, side)
+        b = random_zero_sum_rhs(graph, seed=4)
+        it_none = (
+            LaplacianSolver(graph, preconditioner="none")
+            .solve(b, rtol=1e-8, max_iterations=6000)
+            .num_iterations
+        )
+        it_ultra = (
+            LaplacianSolver(graph, preconditioner="ultrasparse", seed=5)
+            .solve(b, rtol=1e-8, max_iterations=6000)
+            .num_iterations
+        )
+        ratios.append(it_none / max(it_ultra, 1))
+        table.add(side, it_none, it_ultra, it_none / max(it_ultra, 1))
+    table.show()
+    # The advantage must grow (or at least persist) with size.
+    assert ratios[-1] >= ratios[0] * 0.8
+    assert ratios[-1] > 1.5
+
+
+@pytest.mark.parametrize("pc", ["ultrasparse", "jacobi"])
+def test_solve_timing(benchmark, pc):
+    graph = grid_2d(24, 24)
+    solver = LaplacianSolver(graph, preconditioner=pc, seed=0)
+    b = random_zero_sum_rhs(graph, seed=1)
+    benchmark(lambda: solver.solve(b, rtol=1e-6))

@@ -1,0 +1,131 @@
+"""Experiments T12-work and T12-depth — Theorem 1.2's cost claims.
+
+Theorem 1.2: ``Partition`` runs in expected O(m) work and O(log²n/β) depth.
+
+- **Work**: arcs scanned per run divided by m must stay bounded by a
+  constant (≈1: every arc is gathered at most once from each endpoint's
+  frontier membership) across two orders of magnitude of m.
+- **Depth**: BFS rounds must track O(log n / β); modelled PRAM depth
+  (rounds × log n) must track O(log² n / β).  We fit the constant at the
+  smallest size and check larger sizes stay within a constant factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ldd_bfs import partition_bfs
+from repro.core.theory import theorem12_depth_bound
+from repro.graphs.generators import grid_2d, random_regular
+
+from common import Table, bench_scale, mean_and_sem
+
+
+def _work_ratio(graph, beta: float, seeds: range) -> tuple[float, float]:
+    ratios = []
+    for seed in seeds:
+        _, trace = partition_bfs(graph, beta, seed=seed)
+        ratios.append(trace.extra["bfs_work"] / graph.num_arcs)
+    return mean_and_sem(ratios)
+
+
+def test_work_is_linear_in_m():
+    """T12-work: scanned arcs / 2m stays ≈ constant as n grows 100×."""
+    beta = 0.1
+    sides = [20, 40, 80, 160]
+    if bench_scale() > 1:
+        sides.append(160 * bench_scale())
+    table = Table(
+        "T12-work: BFS work / num_arcs across sizes (grid, beta=0.1)",
+        ["side", "n", "m", "work_ratio", "sem"],
+    )
+    ratios = []
+    for side in sides:
+        graph = grid_2d(side, side)
+        mean, sem = _work_ratio(graph, beta, range(3))
+        ratios.append(mean)
+        table.add(side, graph.num_vertices, graph.num_edges, mean, sem)
+    table.show()
+    # O(m) work claim: each arc is gathered at most once, plus one wake-up
+    # unit per vertex — so the ratio is bounded by (2m + n)/2m and must not
+    # trend upward with n.
+    assert max(ratios) <= 1.0 + graph.num_vertices / graph.num_arcs + 1e-9
+    assert ratios[-1] <= ratios[0] * 1.5 + 0.1
+
+
+def test_work_linear_on_expander():
+    """Same check on constant-degree expanders (low diameter regime)."""
+    beta = 0.2
+    table = Table(
+        "T12-work: expander family (4-regular, beta=0.2)",
+        ["n", "work_ratio", "sem"],
+    )
+    for n in [200, 800, 3200]:
+        graph = random_regular(n, 4, seed=n)
+        mean, sem = _work_ratio(graph, beta, range(3))
+        table.add(n, mean, sem)
+        assert mean <= 1.0 + graph.num_vertices / graph.num_arcs + 1e-9
+    table.show()
+
+
+def test_depth_tracks_log_squared_over_beta():
+    """T12-depth: rounds ≲ c·log n/β and PRAM depth ≲ c·log² n/β."""
+    beta = 0.2
+    table = Table(
+        "T12-depth: rounds vs (log n)/beta (grid, beta=0.2)",
+        ["side", "n", "rounds", "logn/beta", "rounds*beta/logn", "depth", "bound"],
+    )
+    normalised = []
+    for side in [20, 40, 80, 160]:
+        graph = grid_2d(side, side)
+        rounds_list, depth_list = [], []
+        for seed in range(3):
+            _, trace = partition_bfs(graph, beta, seed=seed)
+            rounds_list.append(trace.rounds)
+            depth_list.append(trace.depth)
+        n = graph.num_vertices
+        scale = np.log(n) / beta
+        mean_rounds = float(np.mean(rounds_list))
+        normalised.append(mean_rounds / scale)
+        table.add(
+            side,
+            n,
+            mean_rounds,
+            scale,
+            mean_rounds / scale,
+            float(np.mean(depth_list)),
+            theorem12_depth_bound(n, beta, constant=20),
+        )
+    table.show()
+    # The normalised rounds must stay O(1): no upward trend beyond noise.
+    assert max(normalised) <= 3.0
+    assert normalised[-1] <= normalised[0] * 2.0 + 0.5
+
+
+def test_depth_scales_inversely_with_beta():
+    """Halving β should roughly double the rounds (fixed n)."""
+    graph = grid_2d(60, 60)
+    table = Table(
+        "T12-depth: rounds vs 1/beta (grid 60x60)",
+        ["beta", "rounds", "rounds*beta"],
+    )
+    products = []
+    for beta in [0.4, 0.2, 0.1, 0.05]:
+        rounds = float(
+            np.mean(
+                [partition_bfs(graph, beta, seed=s)[1].rounds for s in range(3)]
+            )
+        )
+        products.append(rounds * beta)
+        table.add(beta, rounds, rounds * beta)
+    table.show()
+    # rounds·β ≈ const (up to the log n factor and noise).
+    assert max(products) <= 3.0 * min(products)
+
+
+@pytest.mark.parametrize("side", [64, 128])
+def test_partition_throughput(benchmark, side):
+    """pytest-benchmark timing across sizes (vectorised engine)."""
+    graph = grid_2d(side, side)
+    benchmark(lambda: partition_bfs(graph, 0.1, seed=0))

@@ -1,0 +1,9 @@
+"""Pytest configuration for the benchmark suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import common` work when pytest is invoked from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: decompose a graph, inspect the result, verify the guarantees.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import partition, verify_decomposition
+from repro.core.theory import (
+    cut_probability_bound,
+    expected_delta_max,
+    whp_radius_bound,
+)
+from repro.graphs import grid_2d
+
+
+def main() -> None:
+    # A 100x100 grid — the small version of the paper's Figure 1 workload.
+    graph = grid_2d(100, 100)
+    beta = 0.05
+    print(f"graph: n={graph.num_vertices}, m={graph.num_edges}, beta={beta}")
+
+    # One call runs Algorithm 1 (exponentially shifted BFS).
+    result = partition(graph, beta, seed=0)
+    d = result.decomposition
+
+    print(f"\npieces:        {d.num_pieces}")
+    print(f"max radius:    {d.max_radius()}")
+    print(f"cut edges:     {d.num_cut_edges()} / {graph.num_edges}")
+    print(f"cut fraction:  {d.cut_fraction():.4f}  (target beta = {beta})")
+
+    # The trace carries the Theorem 1.2 quantities.
+    t = result.trace
+    print(f"\nBFS rounds:    {t.rounds}")
+    print(f"work (arcs):   {t.extra['bfs_work']}  (2m = {graph.num_arcs})")
+    print(f"delta_max:     {t.delta_max:.2f}"
+          f"  (E = H_n/beta = {expected_delta_max(graph.num_vertices, beta):.2f})")
+
+    # Theory vs this run.
+    n = graph.num_vertices
+    print(f"\nw.h.p. radius bound (d=1):  {whp_radius_bound(n, beta):.1f}")
+    print(f"cut probability bound:      {cut_probability_bound(beta):.4f}")
+
+    # Deterministic invariants: partition / connectivity / Lemma 4.1 hops.
+    report = verify_decomposition(d, beta=beta, delta_max=t.delta_max)
+    print(f"\ninvariants hold:            {report.all_invariants_hold()}")
+    print(f"radius within certificate:  {report.radius_within_certificate}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""SDD/Laplacian solving — the paper's headline application ([9, 11]).
+
+Pipeline: shifted decompositions → AKPW low-stretch tree → ultrasparsifier
+preconditioner → PCG.  Compares iteration counts across preconditioners on
+a 2D grid Poisson problem.
+
+Run:  python examples/sdd_solver.py
+"""
+
+import numpy as np
+
+from repro.graphs import grid_2d
+from repro.solvers import (
+    LaplacianSolver,
+    PRECONDITIONERS,
+    random_zero_sum_rhs,
+    residual_norm,
+)
+
+
+def main() -> None:
+    graph = grid_2d(40, 40)
+    b = random_zero_sum_rhs(graph, seed=1)
+    print(
+        f"solving L x = b on a 40x40 grid "
+        f"(n={graph.num_vertices}, m={graph.num_edges}), rtol=1e-8\n"
+    )
+    print(f"{'preconditioner':>14} {'iterations':>11} {'residual':>10} "
+          f"{'tree_stretch':>13}")
+    for pc in PRECONDITIONERS:
+        solver = LaplacianSolver(graph, preconditioner=pc, seed=2)
+        res = solver.solve(b, rtol=1e-8, max_iterations=4000)
+        resid = residual_norm(solver.laplacian, res.x, b)
+        stretch = solver.stats.tree_total_stretch
+        stretch_str = f"{stretch:.0f}" if np.isfinite(stretch) else "-"
+        print(
+            f"{pc:>14} {res.num_iterations:>11d} {resid:>10.2e} "
+            f"{stretch_str:>13}"
+        )
+
+    print(
+        "\nThe 'ultrasparse' row is the paper-lineage pipeline: the "
+        "low-stretch tree\nplus stretch-sampled off-tree edges, solved "
+        "directly as a preconditioner.\nIts advantage over 'none'/'jacobi' "
+        "grows with problem size\n(see benchmarks/bench_solver.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

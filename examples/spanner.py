@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Graph spanners from one decomposition (application of Cohen [12]).
+
+Keeps each piece's BFS tree plus one representative edge per adjacent piece
+pair — a (4r+1)-spanner.  Shows the size/stretch trade-off as β varies on a
+hypercube (dense enough that sparsification is visible).
+
+Run:  python examples/spanner.py
+"""
+
+from repro.graphs import hypercube
+from repro.spanners import ldd_spanner, measure_spanner_stretch
+
+
+def main() -> None:
+    graph = hypercube(9)
+    print(
+        f"hypercube d=9: n={graph.num_vertices}, m={graph.num_edges} "
+        f"(diameter 9)\n"
+    )
+    print(
+        f"{'beta':>6} {'edges':>7} {'ratio':>7} {'bound':>6} "
+        f"{'meas_max':>9} {'meas_mean':>10}"
+    )
+    for beta in (0.05, 0.1, 0.2, 0.4):
+        res = ldd_spanner(graph, beta, seed=0)
+        rep = measure_spanner_stretch(
+            graph, res.spanner, max_sources=64, seed=1
+        )
+        print(
+            f"{beta:>6.2f} {res.num_edges:>7d} {res.size_ratio():>7.3f} "
+            f"{res.stretch_bound:>6d} {rep.max:>9.0f} {rep.mean:>10.2f}"
+        )
+    print(
+        "\nsmaller beta -> bigger pieces -> sparser spanner but larger "
+        "stretch bound\n(4*max_radius + 1); measured stretch sits well "
+        "below the bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP 660
+editable installs (which require ``bdist_wheel``) are unavailable; this shim
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

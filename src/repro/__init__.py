@@ -1,0 +1,25 @@
+"""repro — reproduction of Miller, Peng & Xu,
+*Parallel Graph Decompositions Using Random Shifts* (SPAA 2013).
+
+Quick start::
+
+    from repro.graphs import grid_2d
+    from repro.core import partition
+
+    result = partition(grid_2d(100, 100), beta=0.05, seed=0)
+    print(result.summary())
+
+Package layout (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the partition algorithm, baselines, verification;
+- :mod:`repro.graphs`, :mod:`repro.rng`, :mod:`repro.bfs`, :mod:`repro.pram`
+  — the substrates it runs on;
+- :mod:`repro.lowstretch`, :mod:`repro.spanners`, :mod:`repro.embeddings`,
+  :mod:`repro.solvers`, :mod:`repro.blockdecomp`, :mod:`repro.oracles` — the
+  applications the paper motivates.
+"""
+
+from repro._version import __version__
+from repro.core.partition import PartitionResult, partition
+
+__all__ = ["__version__", "partition", "PartitionResult"]

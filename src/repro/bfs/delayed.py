@@ -1,0 +1,244 @@
+"""Delayed-start multi-source BFS with tie-break keys — Algorithm 1's engine.
+
+This implements step 3 of the paper's Algorithm 1: *"Perform parallel BFS,
+with vertex u starting when the vertex at the head of the queue has distance
+more than δ_max − δ_u"*, together with the Section 5 observation that makes
+it an integer BFS:
+
+    In an unweighted graph every path length is an integer, so the shifted
+    distance ``start_u + dist(u, v)`` (``start_u = δ_max − δ_u``) splits into
+    an integer part ``⌊start_u⌋ + dist(u, v)`` and a fractional part
+    ``frac(start_u)`` that only matters for comparing equal integer parts.
+
+The engine therefore runs synchronous integer rounds.  In round ``t``:
+
+1. every still-unowned vertex ``u`` with ``⌊start_u⌋ = t`` *wakes up* and bids
+   for itself;
+2. every vertex claimed in round ``t − 1`` bids for its unowned neighbours on
+   behalf of its own center;
+3. all bids on a vertex are resolved by the smallest ``(tie_key of center,
+   center id)`` pair — the fractional-part comparison, with the paper's
+   lexicographic rule covering exact key ties (a measure-zero event for
+   exponential shifts, but routine for the §5 permutation variant).
+
+Given the same shifts, the result provably equals the exact shifted-shortest-
+path assignment computed by :mod:`repro.bfs.dijkstra` — a property the test
+suite checks exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
+from repro.bfs.frontier import gather_frontier_arcs
+
+__all__ = ["DelayedBFSResult", "delayed_multisource_bfs", "resolve_claims"]
+
+
+@dataclass(frozen=True, eq=False)
+class DelayedBFSResult:
+    """Complete trace of a delayed-start shifted BFS.
+
+    Attributes
+    ----------
+    center:
+        Owner of each vertex — the center whose shifted distance is minimal.
+        Every vertex is owned on return (each vertex eventually wakes).
+    round_claimed:
+        Integer round in which each vertex was claimed; equals
+        ``⌊start(center)⌋ + hops``.
+    hops:
+        Hop distance from each vertex to its center, along a path contained
+        in the piece (Lemma 4.1).
+    num_rounds:
+        Wall-clock parallel rounds: ``last claiming round − first waking
+        round + 1``.  This is the BFS depth ∆ of Theorem 1.2.
+    active_rounds:
+        Rounds that processed at least one bid (jumped-over idle rounds are
+        free in a real scheduler and excluded here).
+    work:
+        Total arcs scanned across all propagation rounds plus one unit per
+        wake-up — the Theorem 1.2 work measure.
+    frontier_sizes:
+        Number of vertices claimed in each active round.
+    """
+
+    center: np.ndarray
+    round_claimed: np.ndarray
+    hops: np.ndarray
+    num_rounds: int
+    active_rounds: int
+    work: int
+    frontier_sizes: list[int]
+
+
+def resolve_claims(
+    cand_vertex: np.ndarray,
+    cand_center: np.ndarray,
+    tie_key: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve concurrent bids: per vertex, minimum ``(key, center)`` wins.
+
+    Returns (winning vertices, their centers), each vertex appearing once.
+    This is the CRCW priority-write step of the round; ``lexsort`` plays the
+    role of the parallel semisort.
+    """
+    order = np.lexsort((cand_center, tie_key[cand_center], cand_vertex))
+    v_sorted = cand_vertex[order]
+    c_sorted = cand_center[order]
+    first = np.ones(v_sorted.shape[0], dtype=bool)
+    first[1:] = v_sorted[1:] != v_sorted[:-1]
+    return v_sorted[first], c_sorted[first]
+
+
+def delayed_multisource_bfs(
+    graph: CSRGraph,
+    start_time: np.ndarray,
+    *,
+    tie_key: np.ndarray | None = None,
+    center_mask: np.ndarray | None = None,
+    max_round: int | None = None,
+) -> DelayedBFSResult:
+    """Run the shifted BFS.
+
+    Parameters
+    ----------
+    graph:
+        Undirected unweighted CSR graph.
+    start_time:
+        Non-negative float per vertex: the time at which the vertex wakes and
+        starts claiming (``δ_max − δ_u`` in the paper).  Integer parts
+        schedule rounds, fractional parts break ties unless ``tie_key``
+        overrides them.
+    tie_key:
+        Optional explicit per-vertex tie-break keys (the §5 permutation
+        variant passes ranks here).  Lower key wins; exact ties fall back to
+        the smaller center id, the paper's lexicographic rule.
+    center_mask:
+        Optional boolean mask restricting which vertices may wake as centers.
+        The paper's algorithm lets every vertex be a potential center (all
+        True, the default); the Blelloch-et-al baseline grows balls from a
+        sampled batch only.  With a restricted mask some vertices may remain
+        unowned (``center == −1``).
+    max_round:
+        Optional inclusive cap on the round counter; claims that would occur
+        in later rounds are abandoned.  Used for radius-capped ball growing.
+    """
+    n = graph.num_vertices
+    start_time = np.asarray(start_time, dtype=np.float64)
+    if start_time.shape[0] != n:
+        raise ParameterError("start_time must have one entry per vertex")
+    if n and start_time.min() < 0:
+        raise ParameterError("start times must be non-negative")
+    floor_start = np.floor(start_time).astype(np.int64)
+    if tie_key is None:
+        tie_key = start_time - floor_start
+    else:
+        tie_key = np.asarray(tie_key, dtype=np.float64)
+        if tie_key.shape[0] != n:
+            raise ParameterError("tie_key must have one entry per vertex")
+    if center_mask is not None:
+        center_mask = np.asarray(center_mask, dtype=bool)
+        if center_mask.shape[0] != n:
+            raise ParameterError("center_mask must have one entry per vertex")
+        if not center_mask.any():
+            raise ParameterError("center_mask must allow at least one center")
+
+    center = np.full(n, -1, dtype=np.int64)
+    round_claimed = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return DelayedBFSResult(
+            center=center,
+            round_claimed=round_claimed,
+            hops=np.zeros(0, dtype=np.int64),
+            num_rounds=0,
+            active_rounds=0,
+            work=0,
+            frontier_sizes=[],
+        )
+
+    # Wake schedule: eligible vertices sorted by waking round, consumed by a
+    # pointer as rounds advance.
+    eligible = (
+        np.arange(n, dtype=VERTEX_DTYPE)
+        if center_mask is None
+        else np.flatnonzero(center_mask).astype(VERTEX_DTYPE)
+    )
+    wake_order = eligible[
+        np.argsort(floor_start[eligible], kind="stable")
+    ]
+    wake_rounds_sorted = floor_start[wake_order]
+    n_wake = int(wake_order.shape[0])
+    ptr = 0
+
+    frontier = np.zeros(0, dtype=VERTEX_DTYPE)
+    frontier_sizes: list[int] = []
+    work = 0
+    t = int(wake_rounds_sorted[0])
+    first_round = t
+    last_round = t
+    active = 0
+    limit = np.inf if max_round is None else int(max_round)
+
+    while t <= limit:
+        # ---- gather wake-up bids for round t --------------------------------
+        wake_hi = ptr
+        while wake_hi < n_wake and wake_rounds_sorted[wake_hi] == t:
+            wake_hi += 1
+        waking = wake_order[ptr:wake_hi]
+        ptr = wake_hi
+        waking = waking[center[waking] == -1]
+        work += int(waking.size)
+
+        # ---- gather propagation bids from the previous round's winners ------
+        if frontier.size:
+            arc_src, arc_dst = gather_frontier_arcs(graph, frontier)
+            work += int(arc_src.size)
+            open_mask = center[arc_dst] == -1
+            prop_v = arc_dst[open_mask]
+            prop_c = center[arc_src[open_mask]]
+        else:
+            prop_v = np.zeros(0, dtype=VERTEX_DTYPE)
+            prop_c = np.zeros(0, dtype=np.int64)
+
+        cand_v = np.concatenate([waking, prop_v])
+        cand_c = np.concatenate([waking.astype(np.int64), prop_c])
+
+        if cand_v.size:
+            winners, owners = resolve_claims(cand_v, cand_c, tie_key)
+            center[winners] = owners
+            round_claimed[winners] = t
+            frontier = winners.astype(VERTEX_DTYPE)
+            frontier_sizes.append(int(winners.size))
+            active += 1
+            last_round = t
+            t += 1
+        else:
+            frontier = np.zeros(0, dtype=VERTEX_DTYPE)
+            # Fast-forward to the next pending wake-up, skipping vertices that
+            # were claimed since they were scheduled.
+            while ptr < n_wake and center[wake_order[ptr]] != -1:
+                ptr += 1
+            if ptr >= n_wake:
+                break
+            t = int(wake_rounds_sorted[ptr])
+
+        if frontier.size == 0 and ptr >= n_wake:
+            break
+
+    owned = center != -1
+    hops = np.full(n, -1, dtype=np.int64)
+    hops[owned] = round_claimed[owned] - floor_start[center[owned]]
+    return DelayedBFSResult(
+        center=center,
+        round_claimed=round_claimed,
+        hops=hops,
+        num_rounds=last_round - first_round + 1,
+        active_rounds=active,
+        work=work,
+        frontier_sizes=frontier_sizes,
+    )

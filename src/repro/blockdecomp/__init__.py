@@ -1,0 +1,5 @@
+"""Linial–Saks block decompositions from iterated shifted LDDs."""
+
+from repro.blockdecomp.linial_saks import BlockDecomposition, block_decomposition
+
+__all__ = ["BlockDecomposition", "block_decomposition"]

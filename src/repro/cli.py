@@ -1,0 +1,178 @@
+"""Command-line interface: ``repro <subcommand>`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``decompose``
+    Partition a generated or loaded graph and print the summary (optionally
+    verify and dump the assignment).
+``render``
+    Reproduce a Figure 1 panel: decompose a grid and write a PPM image.
+``sweep``
+    Run a β-sweep on one graph and print the cut-fraction/diameter table —
+    the quantitative content of Figure 1.
+``methods``
+    List available partition methods and graph generators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel graph decompositions using random shifts "
+            "(Miller-Peng-Xu, SPAA 2013) - reproduction CLI"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dec = sub.add_parser("decompose", help="partition a graph")
+    p_dec.add_argument(
+        "--graph",
+        required=True,
+        help="generator spec, e.g. grid:100x100, er:500,0.02, path:1000",
+    )
+    p_dec.add_argument("--beta", type=float, required=True)
+    p_dec.add_argument("--method", default="bfs")
+    p_dec.add_argument("--seed", type=int, default=0)
+    p_dec.add_argument(
+        "--validate", action="store_true", help="run invariant checks"
+    )
+    p_dec.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    p_ren = sub.add_parser("render", help="render a grid decomposition (PPM)")
+    p_ren.add_argument("--rows", type=int, default=250)
+    p_ren.add_argument("--cols", type=int, default=250)
+    p_ren.add_argument("--beta", type=float, required=True)
+    p_ren.add_argument("--seed", type=int, default=0)
+    p_ren.add_argument("--out", required=True, help="output .ppm path")
+    p_ren.add_argument("--scale", type=int, default=1)
+    p_ren.add_argument(
+        "--ascii", action="store_true", help="also print an ASCII thumbnail"
+    )
+
+    p_swp = sub.add_parser("sweep", help="β sweep table on one graph")
+    p_swp.add_argument("--graph", required=True)
+    p_swp.add_argument(
+        "--betas",
+        default="0.002,0.005,0.01,0.02,0.05,0.1",
+        help="comma-separated β values (default: the Figure 1 set)",
+    )
+    p_swp.add_argument("--seed", type=int, default=0)
+    p_swp.add_argument("--method", default="bfs")
+
+    sub.add_parser("methods", help="list methods and generators")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "decompose":
+        return _cmd_decompose(args)
+    if args.command == "render":
+        return _cmd_render(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "methods":
+        return _cmd_methods()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.core.partition import partition
+    from repro.graphs.generators import by_name
+
+    graph = by_name(args.graph, seed=args.seed)
+    result = partition(
+        graph,
+        args.beta,
+        method=args.method,
+        seed=args.seed,
+        validate=args.validate,
+    )
+    summary = result.summary()
+    summary["n"] = graph.num_vertices
+    summary["m"] = graph.num_edges
+    if args.validate and result.report is not None:
+        summary["invariants_ok"] = result.report.all_invariants_hold()
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        for key, value in summary.items():
+            print(f"{key:>18}: {value}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.core.partition import partition
+    from repro.graphs.generators import grid_2d
+    from repro.viz.grid_render import render_grid_ascii, render_grid_ppm
+
+    graph = grid_2d(args.rows, args.cols)
+    result = partition(graph, args.beta, seed=args.seed)
+    labels = result.decomposition.labels
+    path = render_grid_ppm(
+        labels, args.rows, args.cols, args.out, scale=args.scale
+    )
+    print(
+        f"wrote {path} ({result.decomposition.num_pieces} pieces, "
+        f"cut fraction {result.decomposition.cut_fraction():.4f})"
+    )
+    if args.ascii:
+        print(render_grid_ascii(labels, args.rows, args.cols))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.partition import partition
+    from repro.graphs.generators import by_name
+
+    graph = by_name(args.graph, seed=args.seed)
+    betas = [float(tok) for tok in args.betas.split(",") if tok.strip()]
+    header = (
+        f"{'beta':>8} {'pieces':>8} {'max_rad':>8} {'cut_frac':>10} "
+        f"{'cut/beta':>9} {'rounds':>7}"
+    )
+    print(f"graph {args.graph}: n={graph.num_vertices} m={graph.num_edges}")
+    print(header)
+    for beta in betas:
+        result = partition(graph, beta, method=args.method, seed=args.seed)
+        d = result.decomposition
+        cf = d.cut_fraction()
+        print(
+            f"{beta:>8.4f} {d.num_pieces:>8d} {d.max_radius():>8d} "
+            f"{cf:>10.4f} {cf / beta:>9.3f} {result.trace.rounds:>7d}"
+        )
+    return 0
+
+
+def _cmd_methods() -> int:
+    from repro.core.partition import PARTITION_METHODS
+    from repro.graphs.generators import GENERATORS
+
+    print("partition methods:")
+    for name, desc in PARTITION_METHODS.items():
+        print(f"  {name:>12}: {desc}")
+    print("graph generators:")
+    print(" ", ", ".join(sorted(GENERATORS)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

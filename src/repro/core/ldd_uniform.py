@@ -1,0 +1,66 @@
+"""Ablation: uniform shifts in place of exponential ones.
+
+Section 3 motivates the exponential distribution as the limit of the
+iteratively-doubled uniform shifts of [9] ("the need to have exponentially
+decreasing number of centers ... suggests that the exponential distribution
+can be used in place of the (locally) uniform distribution").  This ablation
+runs the *same* single-BFS pipeline as Algorithm 1 but draws
+``δ_u ~ Uniform[0, R)`` with ``R = c·ln(n)/β``.
+
+What breaks, measurably (benchmark ``bench_ablation_shifts``): with uniform
+shifts the gap between the smallest and second-smallest shifted distance at
+an edge midpoint no longer has the memoryless ``βc``-tail of Lemma 4.4, so
+the cut fraction degrades relative to the exponential version at equal
+diameter budget — the empirical justification for the paper's distribution
+choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.core.ldd_bfs import partition_bfs_with_shifts
+from repro.core.shifts import shifts_from_values
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.rng.exponential import validate_beta
+from repro.rng.seeding import SeedLike, make_generator
+
+__all__ = ["partition_uniform"]
+
+
+def partition_uniform(
+    graph: CSRGraph,
+    beta: float,
+    *,
+    seed: SeedLike = None,
+    range_constant: float = 1.0,
+) -> tuple[Decomposition, PartitionTrace]:
+    """Algorithm 1's pipeline with ``δ_u ~ Uniform[0, c·ln(n)/β)``.
+
+    The range is chosen so the *maximum* shift (hence the diameter
+    certificate) matches the exponential version's high-probability scale,
+    making cut-quality comparisons at matched diameter meaningful.
+    """
+    beta = validate_beta(beta)
+    n = graph.num_vertices
+    if n == 0:
+        raise GraphError("cannot partition the empty graph")
+    rng = make_generator(seed)
+    shift_range = max(1.0, range_constant * np.log(max(n, 2)) / beta)
+    delta = rng.random(n) * shift_range
+    shifts = shifts_from_values(beta, delta, mode="fractional", seed=rng)
+    decomposition, trace = partition_bfs_with_shifts(graph, shifts)
+    trace = PartitionTrace(
+        method="bfs-uniform-shifts",
+        beta=beta,
+        rounds=trace.rounds,
+        work=trace.work,
+        depth=trace.depth,
+        delta_max=trace.delta_max,
+        wall_time_s=trace.wall_time_s,
+        frontier_sizes=trace.frontier_sizes,
+        extra={**trace.extra, "shift_range": float(shift_range)},
+    )
+    return decomposition, trace

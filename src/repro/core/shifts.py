@@ -1,0 +1,170 @@
+"""Exponential start-time shifts (steps 1–2 of Algorithm 1).
+
+Each vertex draws ``δ_u ~ Exp(β)``; the BFS start time of ``u`` is
+``start_u = δ_max − δ_u`` where ``δ_max = max_u δ_u``.  The vertex with the
+largest shift starts at time 0; every other vertex starts later.  The
+integer part of ``start_u`` schedules the waking round, the fractional part
+is the tie-break key (Section 5).
+
+:class:`ShiftAssignment` bundles the sampled values with everything derived
+from them, so the BFS-based and exact implementations can consume *the same*
+randomness — the precondition for the equivalence property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.rng.exponential import sample_exponential, validate_beta
+from repro.rng.permutation import permutation_keys
+from repro.rng.seeding import SeedLike, make_generator
+
+__all__ = ["ShiftAssignment", "sample_shifts", "shifts_from_values"]
+
+
+@dataclass(frozen=True, eq=False)
+class ShiftAssignment:
+    """Shift values and their derived start-time decomposition.
+
+    Attributes
+    ----------
+    beta:
+        The decomposition parameter the shifts were drawn with.
+    delta:
+        ``δ_u`` per vertex.
+    delta_max:
+        ``max_u δ_u`` — the high-probability diameter certificate of
+        Lemma 4.2 (no piece radius can exceed it).
+    start_time:
+        ``δ_max − δ_u ≥ 0`` per vertex.
+    start_round:
+        ``⌊start_time⌋`` — waking round per vertex.
+    tie_key:
+        Key used to compare equal integer rounds.  For fractional mode this
+        is ``frac(start_time)``; for permutation mode (Section 5) it is
+        ``rank(u)/n`` from a uniformly random permutation.
+    mode:
+        ``"fractional"``, ``"permutation"`` or ``"quantile"`` (see
+        :func:`sample_shifts`).
+    """
+
+    beta: float
+    delta: np.ndarray
+    delta_max: float
+    start_time: np.ndarray
+    start_round: np.ndarray
+    tie_key: np.ndarray
+    mode: str
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.delta.shape[0])
+
+    def radius_certificate(self) -> float:
+        """Upper bound on every piece's radius implied by these shifts.
+
+        Any vertex ``v`` could claim itself at shifted distance ``−δ_v``, so
+        its winning center satisfies ``dist(c, v) ≤ δ_c ≤ δ_max``
+        (Theorem 1.2's proof).
+        """
+        return self.delta_max
+
+
+def sample_shifts(
+    num_vertices: int,
+    beta: float,
+    *,
+    seed: SeedLike = None,
+    mode: str = "fractional",
+) -> ShiftAssignment:
+    """Draw shifts for ``num_vertices`` vertices at parameter ``β``.
+
+    Modes (the first is Algorithm 1 as stated; the others are the Section 5
+    implementation variants):
+
+    - ``"fractional"`` — i.i.d. ``Exp(β)`` shifts, fractional parts used as
+      tie-breaks;
+    - ``"permutation"`` — i.i.d. ``Exp(β)`` shifts, tie-breaks replaced by
+      an independent uniformly random permutation;
+    - ``"quantile"`` — §5's final suggestion: *"generate a random
+      permutation of the vertices, and assign the shift values based on
+      positions in the permutation."*  Vertex at permutation rank ``r``
+      gets the deterministic exponential quantile
+      ``F⁻¹((r + 1/2)/n) = −ln(1 − (r + 1/2)/n)/β`` — a stratified sample
+      of ``Exp(β)`` needing only one permutation of randomness.  The paper
+      conjectures the change "could be accounted for using a more intricate
+      analysis, but might be more easily studied empirically"; benchmark
+      ``ABL-quantile`` does exactly that.
+    """
+    beta = validate_beta(beta)
+    if num_vertices <= 0:
+        raise ParameterError("num_vertices must be positive")
+    rng = make_generator(seed)
+    if mode == "quantile":
+        perm = rng.permutation(num_vertices)
+        ranks = np.empty(num_vertices, dtype=np.float64)
+        ranks[perm] = np.arange(num_vertices, dtype=np.float64)
+        delta = -np.log1p(-(ranks + 0.5) / num_vertices) / beta
+        # Quantile deltas are deterministic given the rank, so the shift
+        # ordering *is* the permutation; fractional parts remain valid
+        # tie-break keys and are distinct whenever the quantiles are.
+        return _assemble(beta, delta, "fractional", rng, label="quantile")
+    return _assemble(beta, delta=sample_exponential(beta, num_vertices, seed=rng), mode=mode, rng=rng)
+
+
+def shifts_from_values(
+    beta: float,
+    delta: np.ndarray,
+    *,
+    mode: str = "fractional",
+    seed: SeedLike = None,
+) -> ShiftAssignment:
+    """Build a :class:`ShiftAssignment` from externally supplied ``δ`` values.
+
+    Used by tests (deterministic shift patterns) and by the ablation variants
+    that substitute a different shift distribution into the same pipeline.
+    """
+    beta = validate_beta(beta, upper=np.inf)
+    delta = np.asarray(delta, dtype=np.float64)
+    if delta.ndim != 1 or delta.shape[0] == 0:
+        raise ParameterError("delta must be a non-empty 1-D array")
+    if delta.min() < 0:
+        raise ParameterError("shift values must be non-negative")
+    return _assemble(beta, delta, mode, make_generator(seed))
+
+
+def _assemble(
+    beta: float,
+    delta: np.ndarray,
+    mode: str,
+    rng: np.random.Generator,
+    *,
+    label: str | None = None,
+) -> ShiftAssignment:
+    if mode not in ("fractional", "permutation"):
+        raise ParameterError(
+            f"mode must be 'fractional', 'permutation' or 'quantile', "
+            f"got {mode!r}"
+        )
+    delta = np.ascontiguousarray(delta, dtype=np.float64)
+    delta_max = float(delta.max())
+    start_time = delta_max - delta
+    start_round = np.floor(start_time).astype(np.int64)
+    if mode == "fractional":
+        tie_key = start_time - start_round
+    else:
+        tie_key = permutation_keys(delta.shape[0], seed=rng)
+    for arr in (delta, start_time, start_round, tie_key):
+        arr.setflags(write=False)
+    return ShiftAssignment(
+        beta=beta,
+        delta=delta,
+        delta_max=delta_max,
+        start_time=start_time,
+        start_round=start_round,
+        tie_key=tie_key,
+        mode=label if label is not None else mode,
+    )

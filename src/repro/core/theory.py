@@ -1,0 +1,109 @@
+"""Closed-form theoretical quantities from the paper's analysis.
+
+Benchmarks plot measurements against these functions; tests pin their
+algebra.  Section/lemma references follow the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.rng.order_stats import (
+    expected_maximum,
+    harmonic_number,
+    high_probability_shift_bound,
+)
+
+__all__ = [
+    "expected_delta_max",
+    "whp_radius_bound",
+    "failure_probability",
+    "cut_probability_bound",
+    "expected_cut_edges_bound",
+    "diameter_bound",
+    "theorem12_depth_bound",
+    "theorem12_work_bound",
+    "blockdecomp_iteration_bound",
+]
+
+
+def expected_delta_max(n: int, beta: float) -> float:
+    """Lemma 4.2: ``E[δ_max] = H_n / β``."""
+    return expected_maximum(n, beta)
+
+
+def whp_radius_bound(n: int, beta: float, d: float = 1.0) -> float:
+    """Lemma 4.2 tail: all shifts (hence all radii) are below
+    ``(d+1)·ln n / β`` with probability at least ``1 − n^{−d}``."""
+    return high_probability_shift_bound(n, beta, d)
+
+
+def failure_probability(n: int, d: float) -> float:
+    """The ``n^{−d}`` failure probability of the w.h.p. statements."""
+    if n < 1:
+        raise ParameterError("n must be >= 1")
+    return float(n ** (-d))
+
+
+def cut_probability_bound(beta: float, c: float = 1.0) -> float:
+    """Lemma 4.4: ``Pr[gap ≤ c] ≤ 1 − exp(−βc) < βc``.
+
+    With ``c = 1`` (edge length), this bounds the probability that an edge's
+    midpoint sees two centers within distance 1 — the event of Lemma 4.3
+    that is necessary for the edge to be cut (Corollary 4.5).
+    """
+    if beta <= 0 or c < 0:
+        raise ParameterError("need beta > 0 and c >= 0")
+    return float(-np.expm1(-beta * c))
+
+
+def expected_cut_edges_bound(m: int, beta: float, c: float = 1.0) -> float:
+    """Corollary 4.5: expected number of cut edges is at most
+    ``m · (1 − exp(−βc)) ≤ βcm``."""
+    if m < 0:
+        raise ParameterError("m must be >= 0")
+    return m * cut_probability_bound(beta, c)
+
+
+def diameter_bound(n: int, beta: float, d: float = 1.0) -> float:
+    """The *strong diameter* side of the ``(β, O(log n / β))`` guarantee.
+
+    Piece radii are bounded by the shift certificate (Lemma 4.2), and the
+    strong diameter by twice the radius: ``2·(d+1)·ln n / β`` w.h.p.
+    """
+    return 2.0 * whp_radius_bound(n, beta, d)
+
+
+def theorem12_depth_bound(n: int, beta: float, *, constant: float = 1.0) -> float:
+    """Theorem 1.2 depth: ``O(log² n / β)``.
+
+    Structure: ``O(log n / β)`` BFS rounds (the radius bound), each costing
+    ``O(log n)`` PRAM depth via the parallel BFS of [18].
+    """
+    if n < 2:
+        return 0.0
+    if beta <= 0:
+        raise ParameterError("beta must be positive")
+    return constant * (np.log(n) ** 2) / beta
+
+
+def theorem12_work_bound(m: int, *, constant: float = 1.0) -> float:
+    """Theorem 1.2 work: ``O(m)``."""
+    if m < 0:
+        raise ParameterError("m must be >= 0")
+    return constant * m
+
+
+def blockdecomp_iteration_bound(m: int) -> int:
+    """Section 2: iterating a ``(1/2, O(log n))`` decomposition halves the
+    inter-piece edges, so at most ``⌈log₂ m⌉ + 1`` iterations empty the
+    graph."""
+    if m <= 0:
+        return 1
+    return int(np.ceil(np.log2(m))) + 1
+
+
+def harmonic(n: int) -> float:
+    """Re-export of ``H_n`` for benchmark reporting convenience."""
+    return harmonic_number(n)

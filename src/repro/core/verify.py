@@ -1,0 +1,182 @@
+"""Decomposition verification — executable versions of the paper's claims.
+
+Two kinds of checks:
+
+- **Deterministic invariants** (violations raise
+  :class:`~repro.errors.VerificationError`): the assignment is a total
+  partition; every piece is connected *as an induced subgraph*; the recorded
+  hop distances equal true in-piece BFS distances from the center
+  (Lemma 4.1's prefix-closure in executable form).
+- **Probabilistic guarantees** (reported, never raised): piece radii vs the
+  ``δ_max`` certificate and the ``O(log n / β)`` bound; cut fraction vs the
+  ``O(β)`` bound.  Theorem 1.2 holds with constant probability per run, so a
+  report-level comparison is the honest check.
+
+``verify_decomposition`` with default arguments performs the deterministic
+checks and returns a :class:`VerificationReport` carrying everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bfs.sequential import multi_source_bfs
+from repro.core.decomposition import Decomposition
+from repro.errors import VerificationError
+from repro.graphs.ops import induced_subgraph
+
+__all__ = ["VerificationReport", "verify_decomposition", "strong_diameters"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Everything the checks measured.
+
+    ``max_strong_diameter`` is exact when ``exact_diameters`` was requested,
+    otherwise the eccentricity-based 2-approximation certificate
+    (``diameter ≤ 2 · max radius``).
+    """
+
+    num_pieces: int
+    is_partition: bool
+    pieces_connected: bool
+    hops_consistent: bool
+    max_radius: int
+    max_strong_diameter: int
+    diameters_exact: bool
+    num_cut_edges: int
+    cut_fraction: float
+    delta_max: float | None
+    radius_within_certificate: bool | None
+
+    def all_invariants_hold(self) -> bool:
+        """True when every deterministic invariant passed."""
+        return self.is_partition and self.pieces_connected and self.hops_consistent
+
+
+def strong_diameters(
+    decomposition: Decomposition, *, exact: bool = False
+) -> np.ndarray:
+    """Per-piece strong diameter.
+
+    With ``exact=False`` returns each piece's center eccentricity measured
+    inside the piece (radius; the strong diameter lies in ``[r, 2r]``).
+    With ``exact=True`` runs a BFS from every vertex of each piece inside
+    the induced subgraph — O(Σ piece_size · piece_edges), fine for the test
+    and benchmark sizes.
+    """
+    graph = decomposition.graph
+    out = np.zeros(decomposition.num_pieces, dtype=np.int64)
+    for label in range(decomposition.num_pieces):
+        members = decomposition.piece_members(label)
+        sub = induced_subgraph(graph, members)
+        center_local = sub.new_ids[decomposition.centers[label]]
+        res = multi_source_bfs(sub.graph, np.asarray([center_local]))
+        if np.any(res.dist < 0):
+            raise VerificationError(
+                f"piece {label} is disconnected from its center"
+            )
+        if exact:
+            diam = 0
+            for v in range(sub.graph.num_vertices):
+                dv = multi_source_bfs(sub.graph, np.asarray([v])).dist
+                diam = max(diam, int(dv.max()))
+            out[label] = diam
+        else:
+            out[label] = int(res.dist.max())
+    return out
+
+
+def verify_decomposition(
+    decomposition: Decomposition,
+    *,
+    beta: float | None = None,
+    delta_max: float | None = None,
+    exact_diameters: bool = False,
+    raise_on_violation: bool = True,
+) -> VerificationReport:
+    """Check a decomposition against Definition 1.1 and the paper's lemmas.
+
+    Parameters
+    ----------
+    decomposition:
+        The partition to check.
+    beta, delta_max:
+        Optional run parameters enabling the probabilistic comparisons
+        (cut fraction vs β, radii vs the shift certificate).
+    exact_diameters:
+        Compute exact strong diameters (quadratic per piece) instead of the
+        center-eccentricity certificate.
+    raise_on_violation:
+        Raise :class:`VerificationError` on deterministic invariant failures
+        (default); pass ``False`` to collect the report regardless.
+    """
+    graph = decomposition.graph
+    n = graph.num_vertices
+    labels = decomposition.labels
+    center = decomposition.center
+    hops = decomposition.hops
+
+    is_partition = bool(
+        labels.shape[0] == n and np.all(labels >= 0) and np.all(center >= 0)
+    )
+
+    pieces_connected = True
+    hops_consistent = True
+    max_diam = 0
+    for label in range(decomposition.num_pieces):
+        members = decomposition.piece_members(label)
+        sub = induced_subgraph(graph, members)
+        center_local = int(sub.new_ids[decomposition.centers[label]])
+        res = multi_source_bfs(sub.graph, np.asarray([center_local]))
+        if np.any(res.dist < 0):
+            pieces_connected = False
+            continue
+        # Lemma 4.1, executable: the hop distance the algorithm recorded must
+        # equal the true distance measured *inside* the piece.
+        inside = res.dist
+        recorded = hops[members]
+        if not np.array_equal(inside, recorded):
+            hops_consistent = False
+        if exact_diameters:
+            diam = 0
+            for v in range(sub.graph.num_vertices):
+                dv = multi_source_bfs(sub.graph, np.asarray([v])).dist
+                diam = max(diam, int(dv.max()))
+            max_diam = max(max_diam, diam)
+        else:
+            max_diam = max(max_diam, int(inside.max()))
+
+    report = VerificationReport(
+        num_pieces=decomposition.num_pieces,
+        is_partition=is_partition,
+        pieces_connected=pieces_connected,
+        hops_consistent=hops_consistent,
+        max_radius=decomposition.max_radius(),
+        max_strong_diameter=max_diam,
+        diameters_exact=exact_diameters,
+        num_cut_edges=decomposition.num_cut_edges(),
+        cut_fraction=decomposition.cut_fraction(),
+        delta_max=delta_max,
+        radius_within_certificate=(
+            bool(decomposition.max_radius() <= delta_max)
+            if delta_max is not None
+            else None
+        ),
+    )
+    if raise_on_violation and not report.all_invariants_hold():
+        failing = [
+            name
+            for name, ok in (
+                ("partition", report.is_partition),
+                ("connectivity", report.pieces_connected),
+                ("hop-consistency", report.hops_consistent),
+            )
+            if not ok
+        ]
+        raise VerificationError(
+            f"decomposition violates deterministic invariants: {failing}"
+        )
+    return report

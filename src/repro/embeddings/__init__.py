@@ -1,0 +1,14 @@
+"""Probabilistic tree embeddings from hierarchical shifted decompositions."""
+
+from repro.embeddings.distortion import DistortionReport, measure_distortion
+from repro.embeddings.hierarchy import Hierarchy, hierarchical_decomposition
+from repro.embeddings.hst import HST, build_hst
+
+__all__ = [
+    "DistortionReport",
+    "measure_distortion",
+    "Hierarchy",
+    "hierarchical_decomposition",
+    "HST",
+    "build_hst",
+]

@@ -1,0 +1,154 @@
+"""Hierarchical (laminar) decompositions — substrate for tree embeddings.
+
+Parallel probabilistic tree embeddings ([10], motivated in the paper's
+introduction) stack low-diameter decompositions at geometrically decreasing
+diameter scales: level ``ℓ`` partitions each level-``ℓ+1`` piece with a
+target radius ``2^ℓ``, using ``β_ℓ = min(β_max, c·ln n / 2^ℓ)`` so the
+Lemma 4.2 radius bound matches the scale.  The result is a laminar family:
+level 0 is the singleton partition, the top level is one piece per connected
+component.
+
+:class:`Hierarchy` stores one dense label array per level and validates
+laminarity; :mod:`repro.embeddings.hst` turns it into a tree metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ldd_bfs import partition_bfs
+from repro.errors import GraphError, ParameterError
+from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
+from repro.graphs.ops import connected_components, induced_subgraph
+from repro.rng.seeding import SeedLike, make_generator
+
+__all__ = ["Hierarchy", "hierarchical_decomposition"]
+
+
+@dataclass(frozen=True, eq=False)
+class Hierarchy:
+    """A laminar family of vertex partitions, finest (singletons) first.
+
+    ``labels[ℓ][v]`` is the id of ``v``'s piece at level ``ℓ``; ids are dense
+    per level.  ``scale[ℓ]`` is the target radius ``2^ℓ`` of the level.
+    """
+
+    labels: list[np.ndarray]
+    scale: list[float]
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise GraphError("hierarchy needs at least one level")
+        n = self.labels[0].shape[0]
+        for arr in self.labels:
+            if arr.shape[0] != n:
+                raise GraphError("all levels must label every vertex")
+        # Laminarity: equal labels at level ℓ must stay equal at level ℓ+1.
+        for lo, hi in zip(self.labels[:-1], self.labels[1:]):
+            # Each fine piece must map into exactly one coarse piece.
+            pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
+            if np.unique(pairs[:, 0]).shape[0] != pairs.shape[0]:
+                raise GraphError("hierarchy is not laminar")
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.labels[0].shape[0])
+
+    def pieces_per_level(self) -> list[int]:
+        """Number of pieces at each level (monotone non-increasing)."""
+        return [int(lvl.max()) + 1 for lvl in self.labels]
+
+    def separation_level(
+        self, u: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        """Smallest level at which ``u`` and ``v`` share a piece.
+
+        Returns ``num_levels`` for pairs never merged (different components).
+        Vectorised over pair arrays.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        out = np.full(u.shape[0], self.num_levels, dtype=np.int64)
+        for lvl in range(self.num_levels - 1, -1, -1):
+            same = self.labels[lvl][u] == self.labels[lvl][v]
+            out[same] = lvl
+        return out
+
+
+def hierarchical_decomposition(
+    graph: CSRGraph,
+    *,
+    seed: SeedLike = None,
+    beta_max: float = 0.9,
+    radius_constant: float = 1.0,
+) -> Hierarchy:
+    """Build a laminar hierarchy by top-down shifted decomposition.
+
+    The top level groups whole connected components; each descent to level
+    ``ℓ`` re-decomposes every piece with ``β_ℓ = min(β_max, c·ln n / 2^ℓ)``.
+    Level 0 is forced to singletons so the HST's leaves are vertices.
+    """
+    if not 0 < beta_max < 1:
+        raise ParameterError("beta_max must be in (0, 1)")
+    if radius_constant <= 0:
+        raise ParameterError("radius_constant must be positive")
+    n = graph.num_vertices
+    if n == 0:
+        raise GraphError("cannot build a hierarchy on the empty graph")
+    rng = make_generator(seed)
+
+    top = connected_components(graph).astype(np.int64)
+    # Number of levels: enough that the top scale covers any component
+    # radius (n is always enough; the loop stops refining once singleton).
+    num_mid_levels = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    levels: list[np.ndarray] = [top]
+    scales: list[float] = [float(2**num_mid_levels)]
+
+    current = top
+    for lvl in range(num_mid_levels - 1, 0, -1):
+        target_radius = float(2**lvl)
+        beta = min(
+            beta_max, radius_constant * np.log(max(n, 2)) / target_radius
+        )
+        refined = _refine(graph, current, beta, rng)
+        levels.append(refined)
+        scales.append(target_radius)
+        current = refined
+    # Level 0: singletons.
+    levels.append(np.arange(n, dtype=np.int64))
+    scales.append(1.0)
+
+    levels.reverse()
+    scales.reverse()
+    return Hierarchy(labels=levels, scale=scales)
+
+
+def _refine(
+    graph: CSRGraph,
+    coarse: np.ndarray,
+    beta: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Decompose each coarse piece independently; return dense fine labels."""
+    n = graph.num_vertices
+    fine = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    for piece in range(int(coarse.max()) + 1):
+        members = np.flatnonzero(coarse == piece).astype(VERTEX_DTYPE)
+        if members.size == 1:
+            fine[members] = next_label
+            next_label += 1
+            continue
+        sub = induced_subgraph(graph, members)
+        decomposition, _ = partition_bfs(sub.graph, beta, seed=rng)
+        fine[members] = decomposition.labels + next_label
+        next_label += decomposition.num_pieces
+    if np.any(fine < 0):
+        raise GraphError("refinement missed vertices")
+    return fine

@@ -1,0 +1,34 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single type at API boundaries.  Subclasses distinguish the broad
+failure categories that matter to users: malformed graph inputs, invalid
+algorithm parameters, and violated invariants detected by verification.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A graph input is structurally invalid (bad CSR arrays, bad edges...)."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is outside its documented domain."""
+
+
+class VerificationError(ReproError):
+    """A verification routine found a violated invariant.
+
+    Raised by :mod:`repro.core.verify` when a decomposition fails a check that
+    should hold deterministically (e.g. the assignment is not a partition).
+    Probabilistic guarantees are *reported*, not raised.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative method (e.g. PCG) failed to converge within its budget."""

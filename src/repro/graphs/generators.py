@@ -1,0 +1,396 @@
+"""Synthetic graph families used throughout the benchmarks.
+
+The paper's Figure 1 uses a square grid; its analysis highlights two
+adversarial extremes — the path ("the number of pieces ... may be large
+(e.g. the line graph)") and the complete graph ("a single piece may contain
+the entire graph").  The benchmark harness sweeps these plus standard random
+families (Erdős–Rényi, random regular, Barabási–Albert, SBM) to exercise the
+cut-fraction and diameter bounds across very different degree and distance
+distributions.
+
+All generators are deterministic given ``seed`` and return
+:class:`~repro.graphs.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.build import from_edges
+from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_2d",
+    "torus_2d",
+    "grid_3d",
+    "binary_tree",
+    "caterpillar",
+    "hypercube",
+    "erdos_renyi",
+    "random_regular",
+    "barabasi_albert",
+    "stochastic_block_model",
+    "GENERATORS",
+    "by_name",
+]
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Path on ``n`` vertices — the worst case for sequential ball growing."""
+    _require_positive(n, "n")
+    ids = np.arange(n - 1, dtype=VERTEX_DTYPE)
+    edges = np.stack([ids, ids + 1], axis=1)
+    return from_edges(n, edges, dedup=False)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ParameterError(f"cycle needs n >= 3, got {n}")
+    ids = np.arange(n, dtype=VERTEX_DTYPE)
+    edges = np.stack([ids, (ids + 1) % n], axis=1)
+    return from_edges(n, edges, dedup=False)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete graph K_n — diameter 1, the single-piece extreme."""
+    _require_positive(n, "n")
+    iu = np.triu_indices(n, k=1)
+    edges = np.stack([iu[0].astype(VERTEX_DTYPE), iu[1].astype(VERTEX_DTYPE)], axis=1)
+    return from_edges(n, edges, dedup=False)
+
+
+def star_graph(n: int) -> CSRGraph:
+    """Star: vertex 0 joined to vertices ``1..n-1``."""
+    _require_positive(n, "n")
+    if n == 1:
+        return from_edges(1, np.zeros((0, 2), dtype=VERTEX_DTYPE))
+    leaves = np.arange(1, n, dtype=VERTEX_DTYPE)
+    edges = np.stack([np.zeros_like(leaves), leaves], axis=1)
+    return from_edges(n, edges, dedup=False)
+
+
+def grid_2d(rows: int, cols: int) -> CSRGraph:
+    """``rows × cols`` square grid (4-neighbour) — the Figure 1 workload.
+
+    Vertex ``(r, c)`` has id ``r * cols + c``.
+    """
+    _require_positive(rows, "rows")
+    _require_positive(cols, "cols")
+    n = rows * cols
+    r, c = np.meshgrid(
+        np.arange(rows, dtype=VERTEX_DTYPE),
+        np.arange(cols, dtype=VERTEX_DTYPE),
+        indexing="ij",
+    )
+    vid = r * cols + c
+    right_src = vid[:, :-1].ravel()
+    right_dst = vid[:, 1:].ravel()
+    down_src = vid[:-1, :].ravel()
+    down_dst = vid[1:, :].ravel()
+    edges = np.stack(
+        [
+            np.concatenate([right_src, down_src]),
+            np.concatenate([right_dst, down_dst]),
+        ],
+        axis=1,
+    )
+    return from_edges(n, edges, dedup=False)
+
+
+def torus_2d(rows: int, cols: int) -> CSRGraph:
+    """``rows × cols`` grid with wraparound edges (vertex-transitive)."""
+    if rows < 3 or cols < 3:
+        raise ParameterError("torus needs rows, cols >= 3 to avoid multi-edges")
+    n = rows * cols
+    r, c = np.meshgrid(
+        np.arange(rows, dtype=VERTEX_DTYPE),
+        np.arange(cols, dtype=VERTEX_DTYPE),
+        indexing="ij",
+    )
+    vid = (r * cols + c).ravel()
+    right = (r * cols + (c + 1) % cols).ravel()
+    down = (((r + 1) % rows) * cols + c).ravel()
+    edges = np.stack(
+        [np.concatenate([vid, vid]), np.concatenate([right, down])], axis=1
+    )
+    return from_edges(n, edges, dedup=False)
+
+
+def grid_3d(nx: int, ny: int, nz: int) -> CSRGraph:
+    """``nx × ny × nz`` cubic grid (6-neighbour)."""
+    for name, v in (("nx", nx), ("ny", ny), ("nz", nz)):
+        _require_positive(v, name)
+    shape = (nx, ny, nz)
+    vid = np.arange(nx * ny * nz, dtype=VERTEX_DTYPE).reshape(shape)
+    pairs = []
+    for axis in range(3):
+        sl_a = [slice(None)] * 3
+        sl_b = [slice(None)] * 3
+        sl_a[axis] = slice(None, -1)
+        sl_b[axis] = slice(1, None)
+        pairs.append((vid[tuple(sl_a)].ravel(), vid[tuple(sl_b)].ravel()))
+    src = np.concatenate([p[0] for p in pairs])
+    dst = np.concatenate([p[1] for p in pairs])
+    return from_edges(nx * ny * nz, np.stack([src, dst], axis=1), dedup=False)
+
+
+def binary_tree(height: int) -> CSRGraph:
+    """Complete binary tree of the given height (``2^(h+1) - 1`` vertices)."""
+    if height < 0:
+        raise ParameterError(f"height must be >= 0, got {height}")
+    n = (1 << (height + 1)) - 1
+    child = np.arange(1, n, dtype=VERTEX_DTYPE)
+    parent = (child - 1) // 2
+    return from_edges(n, np.stack([parent, child], axis=1), dedup=False)
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> CSRGraph:
+    """Caterpillar: a path of ``spine`` vertices, each with pendant leaves.
+
+    A classic stress case for diameter-based decompositions: long backbone
+    with high leaf volume.
+    """
+    _require_positive(spine, "spine")
+    if legs_per_vertex < 0:
+        raise ParameterError("legs_per_vertex must be >= 0")
+    spine_ids = np.arange(spine, dtype=VERTEX_DTYPE)
+    edges = [np.stack([spine_ids[:-1], spine_ids[1:]], axis=1)]
+    n = spine
+    if legs_per_vertex:
+        leaf_ids = spine + np.arange(spine * legs_per_vertex, dtype=VERTEX_DTYPE)
+        anchors = np.repeat(spine_ids, legs_per_vertex)
+        edges.append(np.stack([anchors, leaf_ids], axis=1))
+        n += spine * legs_per_vertex
+    return from_edges(n, np.concatenate(edges, axis=0), dedup=False)
+
+
+def hypercube(dim: int) -> CSRGraph:
+    """``dim``-dimensional hypercube on ``2^dim`` vertices."""
+    if dim < 0:
+        raise ParameterError(f"dim must be >= 0, got {dim}")
+    n = 1 << dim
+    vid = np.arange(n, dtype=VERTEX_DTYPE)
+    src_parts = []
+    dst_parts = []
+    for b in range(dim):
+        mask = vid & (1 << b) == 0
+        src_parts.append(vid[mask])
+        dst_parts.append(vid[mask] | (1 << b))
+    if not src_parts:
+        return from_edges(n, np.zeros((0, 2), dtype=VERTEX_DTYPE))
+    edges = np.stack(
+        [np.concatenate(src_parts), np.concatenate(dst_parts)], axis=1
+    )
+    return from_edges(n, edges, dedup=False)
+
+
+def erdos_renyi(n: int, p: float, *, seed: int = 0) -> CSRGraph:
+    """G(n, p) via vectorised sampling of the upper triangle.
+
+    For ``p > ~0.01`` samples the full triangle mask; for sparse regimes uses
+    the geometric skipping method so memory stays ``O(m)``.
+    """
+    _require_positive(n, "n")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    total_pairs = n * (n - 1) // 2
+    if p == 0.0 or total_pairs == 0:
+        return from_edges(n, np.zeros((0, 2), dtype=VERTEX_DTYPE))
+    if p >= 0.01 and total_pairs <= 50_000_000:
+        iu0, iu1 = np.triu_indices(n, k=1)
+        mask = rng.random(total_pairs) < p
+        edges = np.stack(
+            [iu0[mask].astype(VERTEX_DTYPE), iu1[mask].astype(VERTEX_DTYPE)],
+            axis=1,
+        )
+        return from_edges(n, edges, dedup=False)
+    # Sparse regime: skip-sampling of linearised pair indices.
+    # Gap between successive present pairs is Geometric(p).
+    expected = int(total_pairs * p)
+    budget = max(16, int(expected + 6 * np.sqrt(expected + 1)) + 16)
+    gaps = rng.geometric(p, size=budget)
+    positions = np.cumsum(gaps) - 1
+    positions = positions[positions < total_pairs]
+    while positions.size and positions[-1] < total_pairs - 1:
+        # Rarely the budget under-shoots; extend until the triangle is covered.
+        extra = rng.geometric(p, size=budget)
+        more = positions[-1] + np.cumsum(extra)
+        positions = np.concatenate([positions, more[more < total_pairs]])
+        if more[-1] >= total_pairs:
+            break
+    u, v = _linear_to_pair(positions.astype(np.int64), n)
+    return from_edges(n, np.stack([u, v], axis=1), dedup=False)
+
+
+def _linear_to_pair(k: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Map linear indices of the strict upper triangle to (row, col) pairs."""
+    # Row r occupies indices [r*n - r(r+1)/2 ... ) ; invert via quadratic.
+    kk = k.astype(np.float64)
+    r = np.floor((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * kk)) / 2).astype(
+        np.int64
+    )
+    # Guard against float rounding on the row boundary.
+    row_start = r * n - r * (r + 1) // 2
+    too_big = row_start > k
+    r[too_big] -= 1
+    row_start = r * n - r * (r + 1) // 2
+    c = k - row_start + r + 1
+    return r.astype(VERTEX_DTYPE), c.astype(VERTEX_DTYPE)
+
+
+def random_regular(n: int, d: int, *, seed: int = 0, max_tries: int = 200) -> CSRGraph:
+    """Random ``d``-regular graph via the configuration model with retries.
+
+    Retries until a simple matching is found (no self-loops or duplicates),
+    which for ``d = O(1)`` succeeds with constant probability per attempt.
+    The result is close to uniform over simple d-regular graphs and serves as
+    the expander-like family in the benchmarks.
+    """
+    _require_positive(n, "n")
+    _require_positive(d, "d")
+    if (n * d) % 2 != 0:
+        raise ParameterError("n * d must be even for a d-regular graph")
+    if d >= n:
+        raise ParameterError("need d < n")
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(n, dtype=VERTEX_DTYPE), d)
+    for _ in range(max_tries):
+        perm = rng.permutation(stubs)
+        u, v = perm[0::2], perm[1::2]
+        if np.any(u == v):
+            continue
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        keys = lo * n + hi
+        if np.unique(keys).size != keys.size:
+            continue
+        return from_edges(n, np.stack([u, v], axis=1), dedup=False)
+    raise ParameterError(
+        f"failed to sample a simple {d}-regular graph on {n} vertices "
+        f"in {max_tries} tries"
+    )
+
+
+def barabasi_albert(n: int, m_attach: int, *, seed: int = 0) -> CSRGraph:
+    """Barabási–Albert preferential attachment (power-law degrees).
+
+    Starts from a clique on ``m_attach + 1`` vertices; each new vertex
+    attaches to ``m_attach`` distinct existing vertices chosen proportionally
+    to degree (implemented with the repeated-endpoints urn trick).
+    """
+    _require_positive(n, "n")
+    _require_positive(m_attach, "m_attach")
+    if n <= m_attach:
+        raise ParameterError("need n > m_attach")
+    rng = np.random.default_rng(seed)
+    urn: list[int] = []
+    edges: list[tuple[int, int]] = []
+    core = m_attach + 1
+    for u in range(core):
+        for v in range(u + 1, core):
+            edges.append((u, v))
+            urn.extend((u, v))
+    for new in range(core, n):
+        targets: set[int] = set()
+        while len(targets) < m_attach:
+            pick = urn[rng.integers(len(urn))]
+            targets.add(int(pick))
+        for t in targets:
+            edges.append((new, t))
+            urn.extend((new, t))
+    return from_edges(n, np.asarray(edges, dtype=VERTEX_DTYPE), dedup=False)
+
+
+def stochastic_block_model(
+    block_sizes: list[int],
+    p_in: float,
+    p_out: float,
+    *,
+    seed: int = 0,
+) -> CSRGraph:
+    """Stochastic block model — planted community structure.
+
+    Benchmarks use it to check that the decomposition's cut fraction tracks
+    β rather than the planted structure (the LDD guarantee is worst-case).
+    """
+    if not block_sizes:
+        raise ParameterError("need at least one block")
+    for s in block_sizes:
+        _require_positive(s, "block size")
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise ParameterError(f"{name} must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    offsets = np.concatenate([[0], np.cumsum(block_sizes)])
+    n = int(offsets[-1])
+    block_of = np.zeros(n, dtype=VERTEX_DTYPE)
+    for b, (lo, hi) in enumerate(zip(offsets[:-1], offsets[1:])):
+        block_of[lo:hi] = b
+    iu0, iu1 = np.triu_indices(n, k=1)
+    same = block_of[iu0] == block_of[iu1]
+    prob = np.where(same, p_in, p_out)
+    mask = rng.random(iu0.shape[0]) < prob
+    edges = np.stack(
+        [iu0[mask].astype(VERTEX_DTYPE), iu1[mask].astype(VERTEX_DTYPE)], axis=1
+    )
+    return from_edges(n, edges, dedup=False)
+
+
+def _require_positive(value: int, name: str) -> None:
+    if value <= 0:
+        raise ParameterError(f"{name} must be positive, got {value}")
+
+
+#: Named constructors used by the CLI and the benchmark sweeps.
+GENERATORS = {
+    "path": path_graph,
+    "cycle": cycle_graph,
+    "complete": complete_graph,
+    "star": star_graph,
+    "grid": grid_2d,
+    "torus": torus_2d,
+    "grid3d": grid_3d,
+    "btree": binary_tree,
+    "caterpillar": caterpillar,
+    "hypercube": hypercube,
+    "er": erdos_renyi,
+    "regular": random_regular,
+    "ba": barabasi_albert,
+    "sbm": stochastic_block_model,
+}
+
+
+def by_name(spec: str, *, seed: int = 0) -> CSRGraph:
+    """Parse a generator spec string like ``grid:100x100`` or ``er:500,0.02``.
+
+    Grammar: ``name:arg1,arg2,...`` where grid-like families also accept
+    ``AxB`` shorthand.  Used by the CLI and by benchmark parameterisation.
+    """
+    name, _, argstr = spec.partition(":")
+    name = name.strip().lower()
+    if name not in GENERATORS:
+        raise ParameterError(
+            f"unknown generator {name!r}; choices: {sorted(GENERATORS)}"
+        )
+    fn = GENERATORS[name]
+    if not argstr:
+        raise ParameterError(f"generator spec {spec!r} is missing arguments")
+    argstr = argstr.replace("x", ",")
+    args: list[float] = []
+    for tok in argstr.split(","):
+        tok = tok.strip()
+        args.append(float(tok) if ("." in tok or "e" in tok) else int(tok))
+    if name == "sbm":
+        # sbm:<k>,<size>,<p_in>,<p_out> -> k equal blocks
+        k, size, p_in, p_out = args
+        return fn([int(size)] * int(k), p_in, p_out, seed=seed)
+    try:
+        return fn(*args, seed=seed)  # type: ignore[arg-type]
+    except TypeError:
+        return fn(*(int(a) for a in args))  # deterministic families

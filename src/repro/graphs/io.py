@@ -1,0 +1,105 @@
+"""Graph serialisation: edge-list text, METIS, and JSON formats.
+
+The formats cover the interchange needs of the benchmark harness (dumping
+workloads for inspection) and interoperability with standard graph tools
+(METIS is the de-facto partitioning interchange format).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.build import from_adjacency, from_edges
+from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_metis",
+    "read_metis",
+    "to_json",
+    "from_json",
+]
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
+    """Write ``n m`` header plus one ``u v`` line per undirected edge."""
+    path = Path(path)
+    edges = graph.edge_array()
+    with path.open("w") as fh:
+        fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for u, v in edges:
+            fh.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: str | Path) -> CSRGraph:
+    """Read the format produced by :func:`write_edge_list`."""
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline().split()
+        if len(header) != 2:
+            raise GraphError(f"bad edge-list header in {path}")
+        n, m = int(header[0]), int(header[1])
+        data = np.loadtxt(fh, dtype=VERTEX_DTYPE, ndmin=2) if m else np.zeros(
+            (0, 2), dtype=VERTEX_DTYPE
+        )
+    if data.shape[0] != m:
+        raise GraphError(
+            f"edge count mismatch in {path}: header says {m}, found "
+            f"{data.shape[0]}"
+        )
+    return from_edges(n, data)
+
+
+def write_metis(graph: CSRGraph, path: str | Path) -> None:
+    """Write METIS adjacency format (1-indexed, one line per vertex)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for v in range(graph.num_vertices):
+            fh.write(" ".join(str(int(x) + 1) for x in graph.neighbors(v)))
+            fh.write("\n")
+
+
+def read_metis(path: str | Path) -> CSRGraph:
+    """Read the (unweighted) METIS adjacency format."""
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline().split()
+        if len(header) < 2:
+            raise GraphError(f"bad METIS header in {path}")
+        n, m = int(header[0]), int(header[1])
+        adjacency: list[list[int]] = []
+        for _ in range(n):
+            line = fh.readline()
+            if line == "":
+                raise GraphError(f"truncated METIS file {path}")
+            adjacency.append([int(tok) - 1 for tok in line.split()])
+    graph = from_adjacency(adjacency)
+    if graph.num_edges != m:
+        raise GraphError(
+            f"METIS edge count mismatch in {path}: header {m}, "
+            f"parsed {graph.num_edges}"
+        )
+    return graph
+
+
+def to_json(graph: CSRGraph) -> str:
+    """Serialise to a compact JSON document (used by the CLI)."""
+    return json.dumps(
+        {
+            "num_vertices": graph.num_vertices,
+            "edges": graph.edge_array().tolist(),
+        }
+    )
+
+
+def from_json(doc: str) -> CSRGraph:
+    """Inverse of :func:`to_json`."""
+    obj = json.loads(doc)
+    edges = np.asarray(obj["edges"], dtype=VERTEX_DTYPE).reshape(-1, 2)
+    return from_edges(int(obj["num_vertices"]), edges)

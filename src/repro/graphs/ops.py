@@ -1,0 +1,191 @@
+"""Graph transformations and queries on CSR graphs.
+
+These are the structural operations the decomposition pipeline composes:
+induced subgraphs (verifying *strong* diameter requires the piece-induced
+subgraph), quotient/contraction (AKPW low-stretch trees contract pieces into
+supervertices each round), and connected components (validity checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.build import from_arcs, from_edges
+from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
+
+__all__ = [
+    "induced_subgraph",
+    "SubgraphResult",
+    "connected_components",
+    "num_components",
+    "is_connected",
+    "quotient_graph",
+    "QuotientResult",
+    "cut_edge_mask",
+    "count_cut_edges",
+    "degree_statistics",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class SubgraphResult:
+    """An induced subgraph plus the vertex-id mappings in both directions."""
+
+    graph: CSRGraph
+    #: original id of each subgraph vertex (length = subgraph n).
+    original_ids: np.ndarray
+    #: new id for each original vertex, −1 if not in the subgraph (length n).
+    new_ids: np.ndarray
+
+
+def induced_subgraph(graph: CSRGraph, vertices: np.ndarray) -> SubgraphResult:
+    """Extract the subgraph induced by ``vertices``.
+
+    Fully vectorised: arcs whose endpoints both lie in the vertex set are
+    kept and relabelled through a lookup table.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=VERTEX_DTYPE))
+    if vertices.size and (
+        vertices[0] < 0 or vertices[-1] >= graph.num_vertices
+    ):
+        raise GraphError("subgraph vertex ids out of range")
+    new_ids = np.full(graph.num_vertices, -1, dtype=VERTEX_DTYPE)
+    new_ids[vertices] = np.arange(vertices.size, dtype=VERTEX_DTYPE)
+    src = graph.arc_sources()
+    dst = graph.indices
+    keep = (new_ids[src] >= 0) & (new_ids[dst] >= 0)
+    sub = from_arcs(vertices.size, new_ids[src[keep]], new_ids[dst[keep]])
+    return SubgraphResult(graph=sub, original_ids=vertices, new_ids=new_ids)
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Label vertices by connected component, labels dense in ``0..k−1``.
+
+    Delegates to ``scipy.sparse.csgraph`` (union-find in C): component
+    labelling is a substrate operation, not part of the paper's contribution,
+    so we use the fastest exact primitive available.  Labels are renumbered
+    by smallest contained vertex id so the output is deterministic.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=VERTEX_DTYPE)
+    if graph.num_arcs == 0:
+        return np.arange(n, dtype=VERTEX_DTYPE)
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components as _scipy_cc
+
+    mat = csr_matrix(
+        (
+            np.ones(graph.num_arcs, dtype=np.int8),
+            graph.indices,
+            graph.indptr,
+        ),
+        shape=(n, n),
+    )
+    _, raw = _scipy_cc(mat, directed=False)
+    # Renumber by first appearance for a canonical labelling.
+    _, first = np.unique(raw, return_index=True)
+    order = np.argsort(first)
+    remap = np.empty_like(order)
+    remap[order] = np.arange(order.size)
+    return remap[raw].astype(VERTEX_DTYPE)
+
+
+def num_components(graph: CSRGraph) -> int:
+    """Number of connected components."""
+    if graph.num_vertices == 0:
+        return 0
+    return int(connected_components(graph).max()) + 1
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    """Whether the graph is connected (empty graph counts as connected)."""
+    return graph.num_vertices <= 1 or num_components(graph) == 1
+
+
+@dataclass(frozen=True, eq=False)
+class QuotientResult:
+    """Result of contracting clusters into supervertices.
+
+    ``graph`` is simple (parallel edges collapsed, self-loops dropped).
+    ``edge_multiplicity[i]`` counts how many original edges the i-th quotient
+    edge represents, aligned with ``graph.edge_array()`` order.
+    ``representative_edge`` maps each quotient edge to one original endpoint
+    pair ``(u, v)`` realising it — needed by spanner construction, which must
+    add a concrete original edge per cluster pair.
+    """
+
+    graph: CSRGraph
+    edge_multiplicity: np.ndarray
+    representative_edge: np.ndarray
+
+
+def quotient_graph(graph: CSRGraph, labels: np.ndarray) -> QuotientResult:
+    """Contract each label class to a supervertex.
+
+    ``labels`` must be dense ``0..k−1`` over all vertices (as produced by the
+    decomposition assignment after compaction).
+    """
+    labels = np.asarray(labels, dtype=VERTEX_DTYPE)
+    if labels.shape[0] != graph.num_vertices:
+        raise GraphError("labels length must equal num_vertices")
+    k = int(labels.max()) + 1 if labels.size else 0
+    if labels.size and labels.min() < 0:
+        raise GraphError("labels must be non-negative")
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        return QuotientResult(
+            graph=from_edges(k, np.zeros((0, 2), dtype=VERTEX_DTYPE)),
+            edge_multiplicity=np.zeros(0, dtype=np.int64),
+            representative_edge=np.zeros((0, 2), dtype=VERTEX_DTYPE),
+        )
+    lu = labels[edges[:, 0]]
+    lv = labels[edges[:, 1]]
+    cross = lu != lv
+    lo = np.minimum(lu[cross], lv[cross])
+    hi = np.maximum(lu[cross], lv[cross])
+    orig = edges[cross]
+    keys = lo * k + hi
+    uniq_keys, first_idx, counts = np.unique(
+        keys, return_index=True, return_counts=True
+    )
+    q_edges = np.stack([uniq_keys // k, uniq_keys % k], axis=1)
+    qg = from_edges(k, q_edges, dedup=False)
+    # from_edges sorts edges canonically; uniq_keys are already sorted by
+    # (lo, hi) so multiplicities/representatives align with edge_array order.
+    return QuotientResult(
+        graph=qg,
+        edge_multiplicity=counts.astype(np.int64),
+        representative_edge=orig[first_idx],
+    )
+
+
+def cut_edge_mask(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``graph.edge_array()`` rows: True where the edge's
+    endpoints carry different labels."""
+    labels = np.asarray(labels)
+    if labels.shape[0] != graph.num_vertices:
+        raise GraphError("labels length must equal num_vertices")
+    edges = graph.edge_array()
+    return labels[edges[:, 0]] != labels[edges[:, 1]]
+
+
+def count_cut_edges(graph: CSRGraph, labels: np.ndarray) -> int:
+    """Number of edges whose endpoints lie in different label classes."""
+    return int(cut_edge_mask(graph, labels).sum())
+
+
+def degree_statistics(graph: CSRGraph) -> dict[str, float]:
+    """Summary degree statistics for benchmark reporting."""
+    if graph.num_vertices == 0:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "std": 0.0}
+    d = graph.degrees()
+    return {
+        "min": float(d.min()),
+        "max": float(d.max()),
+        "mean": float(d.mean()),
+        "std": float(d.std()),
+    }

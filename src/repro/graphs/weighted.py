@@ -1,0 +1,131 @@
+"""Weighted CSR graphs — substrate for the paper's Section 6 extension.
+
+The core algorithm targets unweighted graphs; Section 6 observes the analysis
+extends to positive edge weights via shifted *Dijkstra* instead of shifted
+BFS.  :class:`WeightedCSRGraph` mirrors :class:`~repro.graphs.csr.CSRGraph`
+with a parallel ``weights`` array aligned to ``indices``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
+
+__all__ = ["WeightedCSRGraph", "weighted_from_edges", "uniform_weights"]
+
+
+class WeightedCSRGraph(CSRGraph):
+    """Undirected graph with positive edge weights in CSR layout.
+
+    ``weights[i]`` is the weight of arc ``indices[i]``; the two arcs of an
+    undirected edge must carry equal weight (validated on construction).
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        super().__init__(indptr, indices, validate=validate)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if weights.shape != self.indices.shape:
+            raise GraphError("weights must align with indices")
+        if validate:
+            if weights.size and weights.min() <= 0:
+                raise GraphError("edge weights must be strictly positive")
+            self._check_symmetric_weights(weights)
+        weights.setflags(write=False)
+        self._weights = weights
+
+    def _check_symmetric_weights(self, weights: np.ndarray) -> None:
+        """Verify both arcs of every edge carry the same weight."""
+        n = self.num_vertices
+        src = self.arc_sources()
+        dst = self.indices
+        keys = np.minimum(src, dst) * n + np.maximum(src, dst)
+        order = np.argsort(keys, kind="stable")
+        w_sorted = weights[order]
+        # After sorting by undirected key, arcs pair up adjacently.
+        if not np.allclose(w_sorted[0::2], w_sorted[1::2]):
+            raise GraphError("arc weights are not symmetric")
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Read-only arc weight array aligned to :attr:`indices`."""
+        return self._weights
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights of the arcs leaving ``v``, aligned to ``neighbors(v)``."""
+        return self._weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_weight_array(self) -> np.ndarray:
+        """Weights aligned to :meth:`edge_array` rows."""
+        src = self.arc_sources()
+        keep = src < self.indices
+        edges = np.stack([src[keep], self.indices[keep]], axis=1)
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        return self._weights[keep][order]
+
+    def total_weight(self) -> float:
+        """Sum of undirected edge weights."""
+        return float(self._weights.sum() / 2.0)
+
+    def unweighted(self) -> CSRGraph:
+        """Drop weights (topology only)."""
+        return CSRGraph(self.indptr, self.indices, validate=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedCSRGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"total_weight={self.total_weight():.6g})"
+        )
+
+
+def weighted_from_edges(
+    num_vertices: int,
+    edges: np.ndarray,
+    weights: np.ndarray,
+) -> WeightedCSRGraph:
+    """Build a weighted graph from ``(m, 2)`` edges and per-edge weights."""
+    edges = np.asarray(edges, dtype=VERTEX_DTYPE).reshape(-1, 2)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape[0] != edges.shape[0]:
+        raise GraphError("one weight per edge required")
+    if edges.shape[0]:
+        if edges.min() < 0 or edges.max() >= num_vertices:
+            raise GraphError("edge endpoints out of range")
+        if np.any(edges[:, 0] == edges[:, 1]):
+            raise GraphError("self-loops are not allowed")
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    keys = lo * num_vertices + hi
+    uniq, first = np.unique(keys, return_index=True)
+    if uniq.size != keys.size:
+        raise GraphError("duplicate edges in weighted edge list")
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    w = np.concatenate([weights, weights])
+    counts = np.bincount(src, minlength=num_vertices).astype(VERTEX_DTYPE)
+    indptr = np.zeros(num_vertices + 1, dtype=VERTEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.lexsort((dst, src))
+    return WeightedCSRGraph(indptr, dst[order], w[order])
+
+
+def uniform_weights(graph: CSRGraph, weight: float = 1.0) -> WeightedCSRGraph:
+    """Lift an unweighted graph to a weighted one with constant weight."""
+    if weight <= 0:
+        raise GraphError("weight must be positive")
+    return WeightedCSRGraph(
+        graph.indptr,
+        graph.indices,
+        np.full(graph.num_arcs, weight, dtype=np.float64),
+        validate=False,
+    )

@@ -1,0 +1,13 @@
+"""Low-stretch spanning trees via iterated shifted decompositions (AKPW)."""
+
+from repro.lowstretch.akpw import AKPWResult, akpw_spanning_tree, bfs_spanning_tree
+from repro.lowstretch.stretch import StretchReport, edge_stretches, stretch_report
+
+__all__ = [
+    "AKPWResult",
+    "akpw_spanning_tree",
+    "bfs_spanning_tree",
+    "StretchReport",
+    "edge_stretches",
+    "stretch_report",
+]

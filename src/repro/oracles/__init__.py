@@ -1,0 +1,9 @@
+"""Approximate distance oracles from shifted decompositions."""
+
+from repro.oracles.cluster_oracle import (
+    ClusterDistanceOracle,
+    OracleErrorReport,
+    build_oracle,
+)
+
+__all__ = ["ClusterDistanceOracle", "OracleErrorReport", "build_oracle"]

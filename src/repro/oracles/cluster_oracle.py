@@ -1,0 +1,152 @@
+"""Approximate distance oracles from shifted decompositions.
+
+Motivated by Cohen's polylog-time approximate shortest paths [13] (the
+decomposition the paper's predecessor [9] was itself modelled on): cluster
+the graph, precompute (a) every vertex's distance to its center and (b)
+all-pairs distances between *centers* on the cluster quotient graph, then
+answer queries by routing through centers:
+
+    ``est(u, v) = hops(u) + quotient_path_weight(center_u, center_v) + hops(v)``
+
+where each quotient edge is weighted by an upper bound on the detour it
+represents (``radius(A) + 1 + radius(B)`` for adjacent pieces A, B).  The
+estimate never underestimates the true distance, and overestimates by a
+factor governed by the piece radii — ``O(log n / β)`` multiplicative in the
+worst case, far better on average (measured by ``bench_oracle``).
+
+Preprocessing is ``O(m + k³)`` for ``k`` pieces (Floyd–Warshall on the
+quotient), queries are O(1) — the classic oracle trade-off driven by β.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bfs.sequential import multi_source_bfs
+from repro.core.decomposition import Decomposition
+from repro.core.ldd_bfs import partition_bfs
+from repro.errors import ParameterError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.ops import quotient_graph
+from repro.rng.seeding import SeedLike, make_generator
+
+__all__ = ["ClusterDistanceOracle", "OracleErrorReport", "build_oracle"]
+
+
+@dataclass(frozen=True)
+class OracleErrorReport:
+    """Observed oracle quality over exact sampled distances."""
+
+    num_pairs: int
+    mean_ratio: float
+    max_ratio: float
+    #: fraction of evaluated pairs where the estimate is below the true
+    #: distance (must be 0 — the estimate is an upper bound; tested).
+    underestimate_fraction: float
+
+
+class ClusterDistanceOracle:
+    """O(1)-query upper-bound distance oracle over a decomposition."""
+
+    def __init__(self, decomposition: Decomposition) -> None:
+        self._decomposition = decomposition
+        graph = decomposition.graph
+        labels = decomposition.labels
+        k = decomposition.num_pieces
+        radii = decomposition.radii().astype(np.float64)
+
+        quotient = quotient_graph(graph, labels)
+        # Quotient edge (A, B) certifies a path of length ≤ r_A + 1 + r_B
+        # between ANY u ∈ A, v ∈ B through centers and the representative
+        # edge; as a center-to-center bound it is r_A + 1 + r_B as well.
+        q_edges = quotient.graph.edge_array()
+        dist = np.full((k, k), np.inf, dtype=np.float64)
+        np.fill_diagonal(dist, 0.0)
+        for a, b in q_edges:
+            w = radii[a] + 1.0 + radii[b]
+            dist[a, b] = min(dist[a, b], w)
+            dist[b, a] = dist[a, b]
+        # Floyd–Warshall, vectorised over the inner two dimensions.
+        for mid in range(k):
+            np.minimum(
+                dist,
+                dist[:, mid : mid + 1] + dist[mid : mid + 1, :],
+                out=dist,
+            )
+        self._center_dist = dist
+        self._labels = labels
+        self._hops = decomposition.hops.astype(np.float64)
+
+    @property
+    def num_pieces(self) -> int:
+        return int(self._center_dist.shape[0])
+
+    def estimate(
+        self, u: np.ndarray | int, v: np.ndarray | int
+    ) -> np.ndarray:
+        """Upper-bound distance estimate(s); ``inf`` across components."""
+        u_arr = np.atleast_1d(np.asarray(u, dtype=np.int64))
+        v_arr = np.atleast_1d(np.asarray(v, dtype=np.int64))
+        if u_arr.shape != v_arr.shape:
+            raise ParameterError("u and v must have matching shapes")
+        lu, lv = self._labels[u_arr], self._labels[v_arr]
+        est = self._hops[u_arr] + self._center_dist[lu, lv] + self._hops[v_arr]
+        # Same-piece queries: route through the shared center.
+        same = lu == lv
+        est[same] = self._hops[u_arr[same]] + self._hops[v_arr[same]]
+        est[u_arr == v_arr] = 0.0
+        return est
+
+    def evaluate(
+        self,
+        *,
+        num_sources: int = 8,
+        seed: SeedLike = None,
+    ) -> OracleErrorReport:
+        """Compare estimates against exact BFS distances from a sample."""
+        graph = self._decomposition.graph
+        n = graph.num_vertices
+        rng = make_generator(seed)
+        sources = rng.choice(n, size=min(num_sources, n), replace=False)
+        ratios: list[np.ndarray] = []
+        under = 0
+        total = 0
+        for s in sources:
+            exact = multi_source_bfs(
+                graph, np.asarray([s], dtype=np.int64)
+            ).dist
+            others = np.flatnonzero(exact > 0)
+            if others.size == 0:
+                continue
+            est = self.estimate(np.full(others.shape[0], s), others)
+            d = exact[others].astype(np.float64)
+            ratios.append(est / d)
+            under += int((est < d - 1e-9).sum())
+            total += int(d.size)
+        if not ratios:
+            return OracleErrorReport(
+                num_pairs=0,
+                mean_ratio=1.0,
+                max_ratio=1.0,
+                underestimate_fraction=0.0,
+            )
+        r = np.concatenate(ratios)
+        return OracleErrorReport(
+            num_pairs=int(r.size),
+            mean_ratio=float(r.mean()),
+            max_ratio=float(r.max()),
+            underestimate_fraction=under / total if total else 0.0,
+        )
+
+
+def build_oracle(
+    graph: CSRGraph,
+    beta: float,
+    *,
+    seed: SeedLike = None,
+) -> ClusterDistanceOracle:
+    """Decompose and build the oracle in one call."""
+    decomposition, _ = partition_bfs(graph, beta, seed=seed)
+    return ClusterDistanceOracle(decomposition)

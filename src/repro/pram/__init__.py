@@ -1,0 +1,25 @@
+"""Work-depth (PRAM) cost model and instrumented parallel primitives."""
+
+from repro.pram.cost_model import CostRecord, WorkDepthCounter, brent_time
+from repro.pram.primitives import (
+    log2_ceil,
+    par_map,
+    par_max,
+    par_min,
+    par_pack,
+    par_reduce,
+    par_scan,
+)
+
+__all__ = [
+    "CostRecord",
+    "WorkDepthCounter",
+    "brent_time",
+    "log2_ceil",
+    "par_map",
+    "par_max",
+    "par_min",
+    "par_pack",
+    "par_reduce",
+    "par_scan",
+]

@@ -1,0 +1,96 @@
+"""Work-depth (PRAM) cost accounting.
+
+Theorem 1.2 is a statement about **work** (total operations) and **depth**
+(longest chain of dependent operations) in the PRAM model, not about seconds
+on a particular machine.  This module makes those quantities first-class:
+algorithms charge their operations to a :class:`WorkDepthCounter`, and
+Brent's theorem converts ``(work, depth)`` into a simulated running time on
+``p`` processors:
+
+    ``T_p ≤ work / p + depth``
+
+which is what the scaling benchmarks report.  Counters nest (a parallel
+composition takes the max of child depths; a sequential composition sums
+them), mirroring the standard work-depth calculus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["CostRecord", "WorkDepthCounter", "brent_time"]
+
+
+@dataclass(frozen=True)
+class CostRecord:
+    """An immutable (work, depth) pair with the calculus operators.
+
+    ``a.then(b)`` is sequential composition; ``a.alongside(b)`` is parallel
+    composition.  Both return new records.
+    """
+
+    work: int
+    depth: int
+
+    def then(self, other: "CostRecord") -> "CostRecord":
+        """Sequential composition: work adds, depth adds."""
+        return CostRecord(self.work + other.work, self.depth + other.depth)
+
+    def alongside(self, other: "CostRecord") -> "CostRecord":
+        """Parallel composition: work adds, depth takes the maximum."""
+        return CostRecord(self.work + other.work, max(self.depth, other.depth))
+
+    def scaled(self, times: int) -> "CostRecord":
+        """``times`` sequential repetitions."""
+        if times < 0:
+            raise ParameterError("times must be >= 0")
+        return CostRecord(self.work * times, self.depth * times)
+
+
+@dataclass
+class WorkDepthCounter:
+    """Mutable accumulator used by instrumented algorithms.
+
+    ``charge(work, depth)`` records one parallel step group: ``work`` total
+    operations whose dependency chain is ``depth`` long.  Successive charges
+    are *sequential* (depths add) — this matches how the decomposition's
+    round loop composes rounds.  Use :meth:`parallel_region` to merge
+    independently-collected child counters as a parallel block.
+    """
+
+    work: int = 0
+    depth: int = 0
+    #: optional labelled breakdown for reports: label -> CostRecord.
+    breakdown: dict[str, CostRecord] = field(default_factory=dict)
+
+    def charge(self, work: int, depth: int = 1, *, label: str | None = None) -> None:
+        """Record a sequentially-composed parallel step group."""
+        if work < 0 or depth < 0:
+            raise ParameterError("work and depth must be >= 0")
+        self.work += work
+        self.depth += depth
+        if label is not None:
+            prev = self.breakdown.get(label, CostRecord(0, 0))
+            self.breakdown[label] = prev.then(CostRecord(work, depth))
+
+    def parallel_region(self, children: list["WorkDepthCounter"]) -> None:
+        """Merge child counters executed in parallel with each other."""
+        if not children:
+            return
+        self.work += sum(c.work for c in children)
+        self.depth += max(c.depth for c in children)
+
+    def snapshot(self) -> CostRecord:
+        """Current totals as an immutable record."""
+        return CostRecord(self.work, self.depth)
+
+
+def brent_time(work: int, depth: int, processors: int) -> float:
+    """Brent's bound ``work/p + depth`` — simulated time on ``p`` processors."""
+    if processors < 1:
+        raise ParameterError("processors must be >= 1")
+    if work < 0 or depth < 0:
+        raise ParameterError("work and depth must be >= 0")
+    return work / processors + depth

@@ -1,0 +1,111 @@
+"""Instrumented parallel primitives (map / reduce / scan / pack).
+
+These wrap the NumPy vectorised operations the engines use and charge their
+canonical PRAM costs to a :class:`~repro.pram.cost_model.WorkDepthCounter`:
+
+- ``par_map``: work ``n``, depth ``1``;
+- ``par_reduce`` / ``par_max`` / ``par_min``: work ``n``, depth ``⌈log₂ n⌉``
+  (balanced reduction tree);
+- ``par_scan`` (exclusive prefix sums): work ``2n``, depth ``2⌈log₂ n⌉``
+  (Blelloch up/down sweeps);
+- ``par_pack`` (filter): a scan plus a map.
+
+The charged numbers are the textbook costs of the operations a real PRAM /
+work-stealing runtime would execute; NumPy happens to evaluate them with
+C-loop parallelism of its own, which is irrelevant to the accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.pram.cost_model import WorkDepthCounter
+
+__all__ = [
+    "par_map",
+    "par_reduce",
+    "par_max",
+    "par_min",
+    "par_scan",
+    "par_pack",
+    "log2_ceil",
+]
+
+
+def log2_ceil(n: int) -> int:
+    """``⌈log₂ n⌉`` with the convention that values ≤ 1 cost depth 1."""
+    if n <= 1:
+        return 1
+    return int(math.ceil(math.log2(n)))
+
+
+def par_map(
+    counter: WorkDepthCounter,
+    fn: Callable[[np.ndarray], np.ndarray],
+    arr: np.ndarray,
+    *,
+    label: str = "map",
+) -> np.ndarray:
+    """Elementwise map: work n, depth 1."""
+    counter.charge(int(arr.shape[0]), 1, label=label)
+    return fn(arr)
+
+
+def par_reduce(
+    counter: WorkDepthCounter,
+    arr: np.ndarray,
+    *,
+    label: str = "reduce",
+) -> float:
+    """Sum-reduction: work n, depth ⌈log₂ n⌉."""
+    n = int(arr.shape[0])
+    counter.charge(n, log2_ceil(n), label=label)
+    return float(arr.sum())
+
+
+def par_max(
+    counter: WorkDepthCounter, arr: np.ndarray, *, label: str = "max"
+) -> float:
+    """Max-reduction (step 2 of Algorithm 1 computes δ_max this way)."""
+    n = int(arr.shape[0])
+    counter.charge(n, log2_ceil(n), label=label)
+    return float(arr.max()) if n else float("-inf")
+
+
+def par_min(
+    counter: WorkDepthCounter, arr: np.ndarray, *, label: str = "min"
+) -> float:
+    """Min-reduction."""
+    n = int(arr.shape[0])
+    counter.charge(n, log2_ceil(n), label=label)
+    return float(arr.min()) if n else float("inf")
+
+
+def par_scan(
+    counter: WorkDepthCounter,
+    arr: np.ndarray,
+    *,
+    label: str = "scan",
+) -> np.ndarray:
+    """Exclusive prefix sums: work 2n, depth 2⌈log₂ n⌉ (Blelloch scan)."""
+    n = int(arr.shape[0])
+    counter.charge(2 * n, 2 * log2_ceil(n), label=label)
+    out = np.zeros_like(arr)
+    np.cumsum(arr[:-1], out=out[1:]) if n > 1 else None
+    return out
+
+
+def par_pack(
+    counter: WorkDepthCounter,
+    arr: np.ndarray,
+    mask: np.ndarray,
+    *,
+    label: str = "pack",
+) -> np.ndarray:
+    """Filter ``arr`` by ``mask``: one scan over flags plus a scatter map."""
+    n = int(arr.shape[0])
+    counter.charge(3 * n, 2 * log2_ceil(n) + 1, label=label)
+    return arr[mask]

@@ -1,0 +1,51 @@
+"""Randomness substrate: exponential shifts, order statistics, permutations."""
+
+from repro.rng.exponential import (
+    exponential_cdf,
+    exponential_pdf,
+    exponential_tail,
+    sample_exponential,
+    sample_exponential_inverse_cdf,
+    validate_beta,
+)
+from repro.rng.order_stats import (
+    expected_maximum,
+    expected_order_statistic,
+    harmonic_number,
+    high_probability_shift_bound,
+    maximum_tail_bound,
+    sample_order_statistics_via_spacings,
+    sample_spacings,
+    spacing_rates,
+)
+from repro.rng.permutation import (
+    is_permutation,
+    permutation_keys,
+    random_permutation,
+    ranks_from_keys,
+)
+from repro.rng.seeding import SeedLike, make_generator, spawn_generators
+
+__all__ = [
+    "SeedLike",
+    "make_generator",
+    "spawn_generators",
+    "exponential_cdf",
+    "exponential_pdf",
+    "exponential_tail",
+    "sample_exponential",
+    "sample_exponential_inverse_cdf",
+    "validate_beta",
+    "expected_maximum",
+    "expected_order_statistic",
+    "harmonic_number",
+    "high_probability_shift_bound",
+    "maximum_tail_bound",
+    "sample_order_statistics_via_spacings",
+    "sample_spacings",
+    "spacing_rates",
+    "is_permutation",
+    "permutation_keys",
+    "random_permutation",
+    "ranks_from_keys",
+]

@@ -1,0 +1,64 @@
+"""Permutation-based tie-breaking (paper §5).
+
+Section 5 observes that because shifts are i.i.d. and the exponential is
+memoryless, the *fractional parts* of the shifts behave as a uniformly random
+lexicographic ordering of the vertices, so implementations may replace them
+with an explicit random permutation: vertex ``u``'s tie-break key becomes its
+rank.  This module generates such keys and converts between representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.rng.seeding import SeedLike, make_generator
+
+__all__ = [
+    "random_permutation",
+    "permutation_keys",
+    "ranks_from_keys",
+    "is_permutation",
+]
+
+
+def random_permutation(n: int, *, seed: SeedLike = None) -> np.ndarray:
+    """Uniformly random permutation of ``0..n−1`` (Fisher–Yates via NumPy)."""
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    rng = make_generator(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def permutation_keys(n: int, *, seed: SeedLike = None) -> np.ndarray:
+    """Tie-break keys in ``[0, 1)``: vertex ``u`` gets ``rank(u)/n``.
+
+    Keys are distinct, uniformly ordered, and drop into the frontier engine
+    exactly where fractional shift parts would go — the §5 substitution.
+    """
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    perm = random_permutation(n, seed=seed)
+    ranks = np.empty(n, dtype=np.float64)
+    ranks[perm] = np.arange(n, dtype=np.float64)
+    return ranks / n
+
+
+def ranks_from_keys(keys: np.ndarray) -> np.ndarray:
+    """Rank vector of arbitrary distinct keys (0 = smallest)."""
+    keys = np.asarray(keys)
+    order = np.argsort(keys, kind="stable")
+    ranks = np.empty(keys.shape[0], dtype=np.int64)
+    ranks[order] = np.arange(keys.shape[0])
+    return ranks
+
+
+def is_permutation(arr: np.ndarray) -> bool:
+    """Whether ``arr`` is a permutation of ``0..len(arr)−1``."""
+    arr = np.asarray(arr)
+    n = arr.shape[0]
+    if n == 0:
+        return True
+    if arr.min() != 0 or arr.max() != n - 1:
+        return False
+    return bool(np.unique(arr).size == n)

@@ -1,0 +1,26 @@
+"""SDD/Laplacian solving: PCG with decomposition-derived preconditioners."""
+
+from repro.solvers.jacobi import JacobiPreconditioner
+from repro.solvers.laplacian import (
+    component_projector,
+    graph_laplacian,
+    random_zero_sum_rhs,
+    residual_norm,
+)
+from repro.solvers.pcg import PCGResult, pcg
+from repro.solvers.solver import PRECONDITIONERS, LaplacianSolver, SolveStats
+from repro.solvers.tree_precond import TreePreconditioner
+
+__all__ = [
+    "JacobiPreconditioner",
+    "component_projector",
+    "graph_laplacian",
+    "random_zero_sum_rhs",
+    "residual_norm",
+    "PCGResult",
+    "pcg",
+    "PRECONDITIONERS",
+    "LaplacianSolver",
+    "SolveStats",
+    "TreePreconditioner",
+]

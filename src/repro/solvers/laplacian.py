@@ -1,0 +1,78 @@
+"""Graph Laplacians and right-hand-side utilities.
+
+The solver application ([9, 11]: SDD systems, max-flow inner loops) operates
+on ``L = D − A``.  Laplacians are singular — the all-ones vector spans the
+kernel per connected component — so the helpers here also provide the
+projections that keep PCG iterates inside ``range(L)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.errors import ParameterError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.ops import connected_components
+from repro.graphs.weighted import WeightedCSRGraph
+
+__all__ = [
+    "graph_laplacian",
+    "component_projector",
+    "random_zero_sum_rhs",
+    "residual_norm",
+]
+
+
+def graph_laplacian(graph: CSRGraph) -> csr_matrix:
+    """Sparse Laplacian ``L = D − A`` (weighted when the graph is weighted)."""
+    n = graph.num_vertices
+    weighted = isinstance(graph, WeightedCSRGraph)
+    off_data = -(graph.weights if weighted else np.ones(graph.num_arcs))
+    adj = csr_matrix(
+        (off_data, graph.indices, graph.indptr), shape=(n, n)
+    )
+    deg = -np.asarray(adj.sum(axis=1)).ravel()
+    lap = adj.tolil()
+    lap.setdiag(deg)
+    return lap.tocsr()
+
+
+def component_projector(graph: CSRGraph):
+    """Return ``project(x)``: subtract each component's mean from ``x``.
+
+    ``range(L)`` is exactly the space of vectors with zero sum on every
+    connected component; PCG on a singular Laplacian must keep ``b`` and the
+    iterates there.
+    """
+    comp = connected_components(graph)
+    k = int(comp.max()) + 1 if comp.size else 0
+    sizes = np.bincount(comp, minlength=k).astype(np.float64)
+
+    def project(x: np.ndarray) -> np.ndarray:
+        means = np.bincount(comp, weights=x, minlength=k) / sizes
+        return x - means[comp]
+
+    return project
+
+
+def random_zero_sum_rhs(
+    graph: CSRGraph, *, seed: int | None = None
+) -> np.ndarray:
+    """A random right-hand side lying in ``range(L)``.
+
+    Gaussian entries with each component's mean removed — the standard
+    benchmark workload for Laplacian solvers.
+    """
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(graph.num_vertices)
+    return component_projector(graph)(b)
+
+
+def residual_norm(lap: csr_matrix, x: np.ndarray, b: np.ndarray) -> float:
+    """Relative residual ``‖b − Lx‖₂ / ‖b‖₂`` (0 rhs → absolute norm)."""
+    if x.shape != b.shape:
+        raise ParameterError("x and b must have matching shapes")
+    r = b - lap @ x
+    nb = float(np.linalg.norm(b))
+    return float(np.linalg.norm(r)) / nb if nb else float(np.linalg.norm(r))

@@ -1,0 +1,112 @@
+"""Ultrasparsifier preconditioner: low-stretch tree + sampled off-tree edges.
+
+The solver chain in [9] does not precondition with the bare tree: it
+augments the low-stretch tree with a small set of off-tree edges sampled
+with probability proportional to their *stretch* (the leverage-score proxy),
+then solves the resulting ultra-sparse Laplacian directly.  This is the step
+where the decomposition's low-stretch property actually pays: sampling by
+stretch concentrates the spectral approximation with few edges.
+
+At the scales a Python reproduction runs, the bare tree loses to Jacobi on
+well-conditioned graphs (see ``bench_solver``); the augmented preconditioner
+restores the expected ordering, matching the paper's pipeline rather than a
+strawman.
+
+The augmented system is factorised once with SuperLU (on the ridge-
+regularised Laplacian, making it SPD); each application is a pair of
+triangular solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.linalg import splu
+
+from repro.errors import GraphError, ParameterError
+from repro.graphs.build import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.lowstretch.stretch import edge_stretches
+from repro.rng.seeding import SeedLike, make_generator
+from repro.solvers.laplacian import graph_laplacian
+from repro.trees.structure import RootedForest
+
+__all__ = ["UltrasparsifierPreconditioner"]
+
+
+class UltrasparsifierPreconditioner:
+    """Direct solves on (tree + stretch-sampled off-tree edges)."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        forest: RootedForest,
+        *,
+        offtree_fraction: float = 0.2,
+        seed: SeedLike = None,
+        ridge: float = 1e-10,
+    ) -> None:
+        """Build and factorise the augmented Laplacian.
+
+        Parameters
+        ----------
+        graph, forest:
+            The system graph and a spanning forest of it.
+        offtree_fraction:
+            Expected fraction of off-tree edges to add, sampled without
+            replacement with probability proportional to stretch.
+        ridge:
+            Relative diagonal regularisation making the factorisation
+            non-singular; scaled by the mean degree.
+        """
+        if not 0.0 <= offtree_fraction <= 1.0:
+            raise ParameterError("offtree_fraction must be in [0, 1]")
+        if forest.num_vertices != graph.num_vertices:
+            raise GraphError("forest and graph must share the vertex set")
+        rng = make_generator(seed)
+        n = graph.num_vertices
+
+        tree_child = np.flatnonzero(forest.parent != -1)
+        tree_edges = np.stack(
+            [tree_child, forest.parent[tree_child]], axis=1
+        )
+        edges = graph.edge_array()
+        stretches = edge_stretches(graph, forest)
+        off_mask = stretches > 1.0  # tree edges have stretch exactly 1
+        off_edges = edges[off_mask]
+        off_stretch = stretches[off_mask]
+        budget = int(round(offtree_fraction * off_edges.shape[0]))
+        if budget and off_edges.shape[0]:
+            prob = off_stretch / off_stretch.sum()
+            picked = rng.choice(
+                off_edges.shape[0],
+                size=min(budget, off_edges.shape[0]),
+                replace=False,
+                p=prob,
+            )
+            extra = off_edges[picked]
+        else:
+            extra = np.zeros((0, 2), dtype=np.int64)
+        sparsifier = from_edges(
+            n, np.concatenate([tree_edges, extra], axis=0), dedup=True
+        )
+        lap = graph_laplacian(sparsifier).tocsc()
+        scale = max(1.0, float(sparsifier.degrees().mean()))
+        lap = lap + ridge * scale * _identity(n)
+        self._lu = splu(lap)
+        self._num_edges = sparsifier.num_edges
+
+    @property
+    def num_edges(self) -> int:
+        """Edges in the augmented sparsifier (tree + sampled)."""
+        return self._num_edges
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """``r ↦ (L_H + εI)⁻¹ r`` via the cached factorisation."""
+        return self._lu.solve(np.asarray(r, dtype=np.float64))
+
+
+def _identity(n: int) -> csr_matrix:
+    return csr_matrix(
+        (np.ones(n), np.arange(n), np.arange(n + 1)), shape=(n, n)
+    )

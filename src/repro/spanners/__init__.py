@@ -1,0 +1,16 @@
+"""Graph spanners built from shifted decompositions."""
+
+from repro.spanners.cluster_spanner import (
+    SpannerResult,
+    ldd_spanner,
+    spanner_from_decomposition,
+)
+from repro.spanners.stretch import SpannerStretchReport, measure_spanner_stretch
+
+__all__ = [
+    "SpannerResult",
+    "ldd_spanner",
+    "spanner_from_decomposition",
+    "SpannerStretchReport",
+    "measure_spanner_stretch",
+]

@@ -1,0 +1,6 @@
+"""Rooted forests, Euler-tour LCA, and tree-distance queries."""
+
+from repro.trees.lca import LCAIndex
+from repro.trees.structure import RootedForest, bfs_forest_from_decomposition
+
+__all__ = ["LCAIndex", "RootedForest", "bfs_forest_from_decomposition"]

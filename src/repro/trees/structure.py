@@ -1,0 +1,164 @@
+"""Rooted forests — the substrate for trees built from decompositions.
+
+Every application that consumes the LDD produces trees: BFS trees of pieces
+(spanners, low-stretch trees), hierarchy trees (embeddings), spanning trees
+(solver preconditioners).  :class:`RootedForest` stores them in parent-array
+form with per-vertex depths, provides validation, traversal orders, and
+conversion to an (undirected) edge list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
+from repro.graphs.build import from_edges
+
+__all__ = ["RootedForest", "bfs_forest_from_decomposition"]
+
+
+@dataclass(frozen=True, eq=False)
+class RootedForest:
+    """A forest over vertices ``0..n−1`` in parent-array form.
+
+    ``parent[v] == −1`` marks roots.  ``edge_weight[v]`` is the weight of the
+    edge ``(v, parent[v])`` (ignored at roots); defaults to 1.
+    """
+
+    parent: np.ndarray
+    edge_weight: np.ndarray
+
+    def __post_init__(self) -> None:
+        parent = np.ascontiguousarray(self.parent, dtype=np.int64)
+        weight = np.ascontiguousarray(self.edge_weight, dtype=np.float64)
+        if parent.shape != weight.shape:
+            raise GraphError("parent and edge_weight must align")
+        n = parent.shape[0]
+        if n and (parent.min() < -1 or parent.max() >= n):
+            raise GraphError("parent ids out of range")
+        if np.any(parent == np.arange(n)):
+            raise GraphError("self-parent is not allowed (use -1 for roots)")
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "edge_weight", weight)
+        # Acyclicity check doubles as depth computation; raises on cycles.
+        object.__setattr__(self, "_depth", _compute_depths(parent))
+
+    @classmethod
+    def from_parents(
+        cls, parent: np.ndarray, edge_weight: np.ndarray | None = None
+    ) -> "RootedForest":
+        """Build from a parent array, defaulting to unit edge weights."""
+        parent = np.asarray(parent, dtype=np.int64)
+        if edge_weight is None:
+            edge_weight = np.ones(parent.shape[0], dtype=np.float64)
+        return cls(parent=parent, edge_weight=edge_weight)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return int(self.parent.shape[0])
+
+    @property
+    def depth(self) -> np.ndarray:
+        """Hop depth of each vertex below its root."""
+        return self._depth  # type: ignore[attr-defined]
+
+    def roots(self) -> np.ndarray:
+        """All root vertices."""
+        return np.flatnonzero(self.parent == -1)
+
+    def is_tree(self) -> bool:
+        """True when the forest has exactly one root (a spanning tree)."""
+        return self.num_vertices > 0 and self.roots().shape[0] == 1
+
+    def num_edges(self) -> int:
+        return int((self.parent != -1).sum())
+
+    def weighted_depth(self) -> np.ndarray:
+        """Sum of edge weights from each vertex to its root."""
+        n = self.num_vertices
+        out = np.zeros(n, dtype=np.float64)
+        order = self.topological_order()
+        for v in order:
+            p = self.parent[v]
+            if p != -1:
+                out[v] = out[p] + self.edge_weight[v]
+        return out
+
+    def topological_order(self) -> np.ndarray:
+        """Vertices ordered root-first (parents before children).
+
+        Sorting by depth gives a valid order in one vectorised pass.
+        """
+        return np.argsort(self.depth, kind="stable")
+
+    def to_graph(self, num_vertices: int | None = None) -> CSRGraph:
+        """Undirected CSR graph of the forest's edges."""
+        n = num_vertices if num_vertices is not None else self.num_vertices
+        child = np.flatnonzero(self.parent != -1)
+        edges = np.stack(
+            [child.astype(VERTEX_DTYPE), self.parent[child]], axis=1
+        )
+        return from_edges(n, edges, dedup=False)
+
+    def path_to_root(self, v: int) -> list[int]:
+        """Vertices on the path from ``v`` to its root, inclusive."""
+        path = [int(v)]
+        while self.parent[path[-1]] != -1:
+            path.append(int(self.parent[path[-1]]))
+        return path
+
+
+def _compute_depths(parent: np.ndarray) -> np.ndarray:
+    """Depths via pointer jumping; raises :class:`GraphError` on cycles.
+
+    Invariant: ``hops[v]`` is the edge count from ``v`` to ``jump[v]`` (or to
+    its root once ``jump[v] == −1``).  Each pass doubles every unresolved
+    pointer's reach, so ``⌈log₂ n⌉ + 1`` passes resolve any forest; anything
+    still unresolved afterwards is a cycle.
+    """
+    n = int(parent.shape[0])
+    jump = parent.copy()
+    hops = np.where(parent == -1, 0, 1).astype(np.int64)
+    for _ in range(int(np.ceil(np.log2(n + 1))) + 2):
+        active = jump != -1
+        if not active.any():
+            return hops
+        targets = jump[active]
+        # Fancy-indexed RHS are gathered before assignment, so both updates
+        # read the pre-pass state — the simultaneous PRAM semantics.
+        hops[active] = hops[active] + hops[targets]
+        jump[active] = jump[targets]
+    if (jump != -1).any():
+        raise GraphError("parent array contains a cycle")
+    return hops
+
+
+def bfs_forest_from_decomposition(decomposition) -> RootedForest:
+    """BFS forest of a decomposition: each piece's shortest-path tree.
+
+    The parent of ``v`` is any neighbour inside the same piece one hop closer
+    to the center (Lemma 4.1 guarantees one exists); centers are roots.
+    Fully vectorised over arcs.
+    """
+    graph = decomposition.graph
+    n = graph.num_vertices
+    src = graph.arc_sources()
+    dst = graph.indices
+    same = decomposition.center[src] == decomposition.center[dst]
+    closer = decomposition.hops[dst] == decomposition.hops[src] - 1
+    good = same & closer
+    parent = np.full(n, -1, dtype=np.int64)
+    # Last write wins; any qualifying neighbour is a valid BFS parent.
+    parent[src[good]] = dst[good]
+    is_center = decomposition.center == np.arange(n)
+    parent[is_center] = -1
+    missing = (parent == -1) & ~is_center
+    if missing.any():
+        raise GraphError(
+            "decomposition violates Lemma 4.1: vertex without in-piece parent"
+        )
+    return RootedForest.from_parents(parent)

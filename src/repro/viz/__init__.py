@@ -1,0 +1,16 @@
+"""Rendering utilities (Figure 1 reproduction)."""
+
+from repro.viz.grid_render import (
+    labels_to_image,
+    render_grid_ascii,
+    render_grid_ppm,
+)
+from repro.viz.palette import distinct_colors, hsv_to_rgb
+
+__all__ = [
+    "labels_to_image",
+    "render_grid_ascii",
+    "render_grid_ppm",
+    "distinct_colors",
+    "hsv_to_rgb",
+]

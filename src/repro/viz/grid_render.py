@@ -1,0 +1,86 @@
+"""Rendering grid decompositions — the Figure 1 artifact.
+
+The paper's only figure shows a 1000×1000 grid decomposed at six values of
+β, clusters coloured distinctly.  :func:`render_grid_ppm` reproduces it as a
+binary PPM (P6) image — viewable everywhere, zero dependencies — and
+:func:`render_grid_ascii` gives a terminal-sized thumbnail for quick looks
+and doctests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.viz.palette import distinct_colors
+
+__all__ = ["labels_to_image", "render_grid_ppm", "render_grid_ascii"]
+
+_ASCII_GLYPHS = ".#o+x*%@=-:~^&"
+
+
+def labels_to_image(
+    labels: np.ndarray, rows: int, cols: int, *, seed: int = 0
+) -> np.ndarray:
+    """Map per-vertex labels of a ``rows × cols`` grid to an RGB image.
+
+    Vertex ``(r, c)`` must have id ``r · cols + c`` (the
+    :func:`repro.graphs.generators.grid_2d` convention).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != rows * cols:
+        raise ParameterError(
+            f"labels length {labels.shape[0]} != rows*cols {rows * cols}"
+        )
+    k = int(labels.max()) + 1 if labels.size else 0
+    colors = distinct_colors(k, seed=seed)
+    return colors[labels].reshape(rows, cols, 3)
+
+
+def render_grid_ppm(
+    labels: np.ndarray,
+    rows: int,
+    cols: int,
+    path: str | Path,
+    *,
+    seed: int = 0,
+    scale: int = 1,
+) -> Path:
+    """Write the coloured decomposition as a binary PPM; returns the path.
+
+    ``scale`` up-samples each cell to a ``scale × scale`` block so small
+    grids remain legible.
+    """
+    if scale < 1:
+        raise ParameterError("scale must be >= 1")
+    img = labels_to_image(labels, rows, cols, seed=seed)
+    if scale > 1:
+        img = np.repeat(np.repeat(img, scale, axis=0), scale, axis=1)
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(f"P6\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        fh.write(img.tobytes())
+    return path
+
+
+def render_grid_ascii(
+    labels: np.ndarray,
+    rows: int,
+    cols: int,
+    *,
+    max_size: int = 60,
+) -> str:
+    """Terminal thumbnail: one glyph per (down-sampled) cell.
+
+    Glyphs repeat after 14 clusters — adjacent clusters still almost always
+    differ, which is all a thumbnail needs.
+    """
+    labels = np.asarray(labels, dtype=np.int64).reshape(rows, cols)
+    step_r = max(1, rows // max_size)
+    step_c = max(1, cols // max_size)
+    sampled = labels[::step_r, ::step_c]
+    glyphs = np.array(list(_ASCII_GLYPHS))
+    lines = ["".join(row) for row in glyphs[sampled % len(_ASCII_GLYPHS)]]
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Deterministic colour palettes for cluster rendering.
+
+Figure 1 colours clusters arbitrarily; what matters is that adjacent
+clusters get visually distinct colours.  A golden-ratio hue walk over HSV
+gives unbounded, well-separated, deterministic colours without external
+dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["distinct_colors", "hsv_to_rgb"]
+
+#: Golden-ratio conjugate: successive hues land maximally apart.
+_GOLDEN = 0.6180339887498949
+
+
+def hsv_to_rgb(h: np.ndarray, s: float, v: float) -> np.ndarray:
+    """Vectorised HSV→RGB for hue array ``h ∈ [0, 1)``; returns uint8 (k, 3)."""
+    h = np.asarray(h, dtype=np.float64) % 1.0
+    i = np.floor(h * 6.0).astype(np.int64) % 6
+    f = h * 6.0 - np.floor(h * 6.0)
+    p = v * (1.0 - s)
+    q = v * (1.0 - f * s)
+    t = v * (1.0 - (1.0 - f) * s)
+    ones = np.full_like(f, v)
+    p_arr = np.full_like(f, p)
+    channels = [
+        (ones, t, p_arr),
+        (q, ones, p_arr),
+        (p_arr, ones, t),
+        (p_arr, q, ones),
+        (t, p_arr, ones),
+        (ones, p_arr, q),
+    ]
+    rgb = np.empty((h.shape[0], 3), dtype=np.float64)
+    for sector, (r, g, b) in enumerate(channels):
+        mask = i == sector
+        rgb[mask, 0] = r[mask]
+        rgb[mask, 1] = g[mask]
+        rgb[mask, 2] = b[mask]
+    return np.clip(rgb * 255.0, 0, 255).astype(np.uint8)
+
+
+def distinct_colors(k: int, *, seed: int = 0) -> np.ndarray:
+    """``(k, 3)`` uint8 RGB colours, deterministic and well separated."""
+    if k < 0:
+        raise ParameterError("k must be >= 0")
+    if k == 0:
+        return np.zeros((0, 3), dtype=np.uint8)
+    start = (seed * _GOLDEN) % 1.0
+    hues = (start + _GOLDEN * np.arange(k)) % 1.0
+    # Alternate saturation/value slightly so same-hue collisions at large k
+    # still differ.
+    colors = hsv_to_rgb(hues, 0.62, 0.95)
+    dim = (np.arange(k) % 3) == 2
+    colors[dim] = (colors[dim] * 0.75).astype(np.uint8)
+    return colors

@@ -1,0 +1,195 @@
+"""Unit tests for the delayed-start shifted BFS — the paper's key primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.bfs.delayed import delayed_multisource_bfs, resolve_claims
+from repro.bfs.dijkstra import shifted_integer_dijkstra
+from repro.graphs.build import from_edges
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+)
+
+
+class TestResolveClaims:
+    def test_min_key_wins(self):
+        key = np.asarray([0.9, 0.1, 0.5])
+        cand_v = np.asarray([7, 7, 7])
+        cand_c = np.asarray([0, 1, 2])
+        winners, owners = resolve_claims(cand_v, cand_c, key)
+        np.testing.assert_array_equal(winners, [7])
+        np.testing.assert_array_equal(owners, [1])
+
+    def test_exact_tie_falls_back_to_center_id(self):
+        key = np.asarray([0.5, 0.5])
+        winners, owners = resolve_claims(
+            np.asarray([3, 3]), np.asarray([1, 0]), key
+        )
+        np.testing.assert_array_equal(owners, [0])
+
+    def test_multiple_vertices(self):
+        key = np.asarray([0.3, 0.2])
+        cand_v = np.asarray([0, 1, 1])
+        cand_c = np.asarray([0, 0, 1])
+        winners, owners = resolve_claims(cand_v, cand_c, key)
+        np.testing.assert_array_equal(winners, [0, 1])
+        np.testing.assert_array_equal(owners, [0, 1])
+
+
+class TestDelayedBFSBasics:
+    def test_single_early_riser_claims_everything(self):
+        g = path_graph(6)
+        start = np.asarray([0.0, 9.0, 9.0, 9.0, 9.0, 9.0])
+        res = delayed_multisource_bfs(g, start)
+        np.testing.assert_array_equal(res.center, np.zeros(6, dtype=np.int64))
+        np.testing.assert_array_equal(res.hops, np.arange(6))
+
+    def test_two_centers_split_path(self):
+        g = path_graph(7)
+        start = np.full(7, 99.0)
+        start[0] = 0.25
+        start[6] = 0.75
+        res = delayed_multisource_bfs(g, start)
+        # Vertex 3 is tied at round 3; center 0 has smaller fractional key.
+        np.testing.assert_array_equal(res.center[:4], [0, 0, 0, 0])
+        np.testing.assert_array_equal(res.center[4:], [6, 6, 6])
+
+    def test_everyone_wakes_simultaneously(self):
+        g = grid_2d(4, 4)
+        res = delayed_multisource_bfs(g, np.zeros(16))
+        # All vertices claim themselves in round 0: singleton pieces.
+        np.testing.assert_array_equal(res.center, np.arange(16))
+        assert res.num_rounds == 1
+
+    def test_round_claimed_equals_floor_start_plus_hops(self):
+        g = grid_2d(5, 5)
+        rng = np.random.default_rng(0)
+        start = rng.random(25) * 7
+        res = delayed_multisource_bfs(g, start)
+        floor = np.floor(start).astype(np.int64)
+        np.testing.assert_array_equal(
+            res.round_claimed, floor[res.center] + res.hops
+        )
+
+    def test_all_vertices_assigned(self):
+        g = erdos_renyi(60, 0.03, seed=5)  # possibly disconnected
+        rng = np.random.default_rng(1)
+        res = delayed_multisource_bfs(g, rng.random(60) * 5)
+        assert np.all(res.center >= 0)
+        assert np.all(res.hops >= 0)
+
+    def test_centers_are_fixed_points(self):
+        g = grid_2d(6, 6)
+        rng = np.random.default_rng(2)
+        res = delayed_multisource_bfs(g, rng.random(36) * 10)
+        np.testing.assert_array_equal(
+            res.center[res.center], res.center
+        )
+
+    def test_idle_round_jumping(self):
+        # One center at t=0, next wake far in the future: the engine must
+        # jump over the idle gap, not execute 1000 empty rounds.
+        g = from_edges(3, [(0, 1)])  # vertex 2 isolated
+        start = np.asarray([0.0, 5.0, 1000.5])
+        res = delayed_multisource_bfs(g, start)
+        assert res.center[2] == 2
+        assert res.active_rounds <= 3
+        assert res.num_rounds == 1001  # wall-clock rounds span the gap
+
+    def test_work_bounded_by_arcs_plus_n(self):
+        g = grid_2d(8, 8)
+        rng = np.random.default_rng(3)
+        res = delayed_multisource_bfs(g, rng.random(64) * 6)
+        assert res.work <= g.num_arcs + g.num_vertices
+
+    def test_input_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ParameterError):
+            delayed_multisource_bfs(g, np.zeros(2))
+        with pytest.raises(ParameterError):
+            delayed_multisource_bfs(g, np.asarray([-1.0, 0.0, 0.0]))
+        with pytest.raises(ParameterError):
+            delayed_multisource_bfs(g, np.zeros(3), tie_key=np.zeros(2))
+
+
+class TestCenterMaskAndCap:
+    def test_center_mask_limits_owners(self):
+        g = path_graph(8)
+        start = np.zeros(8)
+        mask = np.zeros(8, dtype=bool)
+        mask[0] = True
+        res = delayed_multisource_bfs(g, start, center_mask=mask)
+        np.testing.assert_array_equal(res.center, np.zeros(8, dtype=np.int64))
+
+    def test_center_mask_leaves_unreached_unowned(self, two_triangles):
+        start = np.zeros(6)
+        mask = np.zeros(6, dtype=bool)
+        mask[0] = True  # only the first triangle has a center
+        res = delayed_multisource_bfs(two_triangles, start, center_mask=mask)
+        assert np.all(res.center[:3] == 0)
+        assert np.all(res.center[3:] == -1)
+        assert np.all(res.hops[3:] == -1)
+
+    def test_all_false_mask_rejected(self):
+        with pytest.raises(ParameterError):
+            delayed_multisource_bfs(
+                path_graph(3), np.zeros(3), center_mask=np.zeros(3, dtype=bool)
+            )
+
+    def test_max_round_caps_growth(self):
+        g = path_graph(10)
+        start = np.zeros(10)
+        mask = np.zeros(10, dtype=bool)
+        mask[0] = True
+        res = delayed_multisource_bfs(
+            g, start, center_mask=mask, max_round=3
+        )
+        assert np.all(res.center[:4] == 0)
+        assert np.all(res.center[4:] == -1)
+
+
+class TestEquivalenceWithExactDijkstra:
+    """Section 5: the BFS implementation equals exact shifted shortest paths."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_starts_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 40))
+        g = erdos_renyi(n, 0.15, seed=seed + 100)
+        start = rng.random(n) * rng.integers(1, 12)
+        floor = np.floor(start).astype(np.int64)
+        key = start - floor
+        bfs_res = delayed_multisource_bfs(g, start)
+        dij_res = shifted_integer_dijkstra(g, floor, key)
+        np.testing.assert_array_equal(bfs_res.center, dij_res.center)
+        np.testing.assert_array_equal(bfs_res.hops, dij_res.hops)
+        np.testing.assert_array_equal(
+            bfs_res.round_claimed, dij_res.round_claimed
+        )
+
+    def test_integer_starts_tie_break_by_id(self):
+        # All fractional keys zero: pure lexicographic center-id tie-breaks.
+        g = cycle_graph(9)
+        start = np.zeros(9)
+        bfs_res = delayed_multisource_bfs(g, start)
+        dij_res = shifted_integer_dijkstra(
+            g, np.zeros(9, dtype=np.int64), np.zeros(9)
+        )
+        np.testing.assert_array_equal(bfs_res.center, dij_res.center)
+
+    def test_permutation_keys_agree(self):
+        g = grid_2d(6, 6)
+        rng = np.random.default_rng(11)
+        start = rng.random(36) * 8
+        floor = np.floor(start).astype(np.int64)
+        perm_key = rng.permutation(36) / 36.0
+        bfs_res = delayed_multisource_bfs(g, start, tie_key=perm_key)
+        dij_res = shifted_integer_dijkstra(g, floor, perm_key)
+        np.testing.assert_array_equal(bfs_res.center, dij_res.center)
+        np.testing.assert_array_equal(bfs_res.hops, dij_res.hops)

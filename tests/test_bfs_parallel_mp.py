@@ -1,0 +1,97 @@
+"""Tests for the multiprocessing BFS backend.
+
+The backend's contract is bit-identical output to the serial engine; these
+tests run small graphs through real worker processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.bfs.delayed import delayed_multisource_bfs
+from repro.bfs.parallel_mp import ParallelBFSEngine, delayed_multisource_bfs_mp
+from repro.core.shifts import sample_shifts
+from repro.graphs.generators import erdos_renyi, grid_2d, path_graph
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """One worker pool shared across the module (pool startup is costly)."""
+    graph = grid_2d(12, 12)
+    with ParallelBFSEngine(graph, num_workers=2) as eng:
+        yield graph, eng
+
+
+class TestEquivalenceWithSerial:
+    def test_exponential_shifts(self, engine):
+        graph, eng = engine
+        shifts = sample_shifts(graph.num_vertices, 0.1, seed=1)
+        serial = delayed_multisource_bfs(
+            graph, shifts.start_time, tie_key=shifts.tie_key
+        )
+        par = eng.partition_delayed(shifts.start_time, tie_key=shifts.tie_key)
+        np.testing.assert_array_equal(serial.center, par.center)
+        np.testing.assert_array_equal(serial.hops, par.hops)
+        np.testing.assert_array_equal(
+            serial.round_claimed, par.round_claimed
+        )
+        assert serial.num_rounds == par.num_rounds
+        assert serial.frontier_sizes == par.frontier_sizes
+
+    def test_multiple_runs_reuse_pool(self, engine):
+        graph, eng = engine
+        for seed in (2, 3):
+            shifts = sample_shifts(graph.num_vertices, 0.2, seed=seed)
+            serial = delayed_multisource_bfs(
+                graph, shifts.start_time, tie_key=shifts.tie_key
+            )
+            par = eng.partition_delayed(
+                shifts.start_time, tie_key=shifts.tie_key
+            )
+            np.testing.assert_array_equal(serial.center, par.center)
+
+    def test_permutation_tie_keys(self, engine):
+        graph, eng = engine
+        shifts = sample_shifts(
+            graph.num_vertices, 0.15, seed=4, mode="permutation"
+        )
+        serial = delayed_multisource_bfs(
+            graph, shifts.start_time, tie_key=shifts.tie_key
+        )
+        par = eng.partition_delayed(shifts.start_time, tie_key=shifts.tie_key)
+        np.testing.assert_array_equal(serial.center, par.center)
+
+
+class TestOneShotWrapper:
+    def test_disconnected_graph(self):
+        g = erdos_renyi(40, 0.03, seed=9)
+        rng = np.random.default_rng(5)
+        start = rng.random(40) * 4
+        serial = delayed_multisource_bfs(g, start)
+        par = delayed_multisource_bfs_mp(g, start, num_workers=2)
+        np.testing.assert_array_equal(serial.center, par.center)
+
+    def test_single_worker(self):
+        g = path_graph(15)
+        start = np.linspace(0, 3, 15)
+        serial = delayed_multisource_bfs(g, start)
+        par = delayed_multisource_bfs_mp(g, start, num_workers=1)
+        np.testing.assert_array_equal(serial.center, par.center)
+
+
+class TestValidation:
+    def test_bad_worker_count(self):
+        with pytest.raises(ParameterError):
+            ParallelBFSEngine(path_graph(3), num_workers=0)
+
+    def test_bad_start_length(self, engine):
+        graph, eng = engine
+        with pytest.raises(ParameterError):
+            eng.partition_delayed(np.zeros(3))
+
+    def test_negative_start(self, engine):
+        graph, eng = engine
+        with pytest.raises(ParameterError):
+            eng.partition_delayed(np.full(graph.num_vertices, -1.0))

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestDecompose:
+    def test_human_output(self, capsys):
+        code = main(
+            [
+                "decompose",
+                "--graph",
+                "grid:10x10",
+                "--beta",
+                "0.3",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cut_fraction" in out and "num_pieces" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "decompose",
+                "--graph",
+                "path:50",
+                "--beta",
+                "0.2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n"] == 50 and doc["m"] == 49
+        assert doc["method"] == "bfs-fractional"
+
+    def test_validate_flag(self, capsys):
+        code = main(
+            [
+                "decompose",
+                "--graph",
+                "cycle:20",
+                "--beta",
+                "0.4",
+                "--validate",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["invariants_ok"] is True
+
+    def test_alternative_method(self, capsys):
+        code = main(
+            [
+                "decompose",
+                "--graph",
+                "grid:8x8",
+                "--beta",
+                "0.3",
+                "--method",
+                "sequential",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["method"] == "sequential-ball-growing"
+
+
+class TestRender:
+    def test_writes_ppm(self, tmp_path, capsys):
+        out_file = tmp_path / "fig.ppm"
+        code = main(
+            [
+                "render",
+                "--rows",
+                "20",
+                "--cols",
+                "20",
+                "--beta",
+                "0.2",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert out_file.read_bytes().startswith(b"P6")
+        assert "pieces" in capsys.readouterr().out
+
+    def test_ascii_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "render",
+                "--rows",
+                "12",
+                "--cols",
+                "12",
+                "--beta",
+                "0.3",
+                "--out",
+                str(tmp_path / "a.ppm"),
+                "--ascii",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 5
+
+
+class TestSweep:
+    def test_table_output(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--graph",
+                "grid:15x15",
+                "--betas",
+                "0.1,0.3",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cut_frac" in out
+        assert len(out.strip().splitlines()) == 4  # header x2 + two rows
+
+
+class TestMethods:
+    def test_lists_everything(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs" in out and "blelloch" in out and "grid" in out

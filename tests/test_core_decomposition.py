@@ -1,0 +1,124 @@
+"""Unit tests for the Decomposition result type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.graphs.generators import grid_2d, path_graph
+
+
+def make_manual_decomposition():
+    """Path 0-1-2-3-4-5 split into pieces {0,1,2} (center 0), {3,4,5} (center 4)."""
+    g = path_graph(6)
+    center = np.asarray([0, 0, 0, 4, 4, 4])
+    hops = np.asarray([0, 1, 2, 1, 0, 1])
+    return g, Decomposition(graph=g, center=center, hops=hops)
+
+
+class TestConstruction:
+    def test_valid(self):
+        _, d = make_manual_decomposition()
+        assert d.num_pieces == 2
+        np.testing.assert_array_equal(d.centers, [0, 4])
+
+    def test_labels_dense_ordered_by_center(self):
+        _, d = make_manual_decomposition()
+        np.testing.assert_array_equal(d.labels, [0, 0, 0, 1, 1, 1])
+
+    def test_rejects_non_fixed_point_center(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError, match="fixed point"):
+            Decomposition(
+                graph=g,
+                center=np.asarray([1, 2, 2]),  # center[1]=2 but center[2]=2 ok; center[0]=1 not fixed
+                hops=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_rejects_center_with_nonzero_hops(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError, match="hop distance 0"):
+            Decomposition(
+                graph=g,
+                center=np.asarray([0, 0, 0]),
+                hops=np.asarray([1, 1, 2]),
+            )
+
+    def test_rejects_wrong_lengths(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            Decomposition(
+                graph=g, center=np.zeros(2, dtype=np.int64), hops=np.zeros(3)
+            )
+
+    def test_rejects_negative_hops(self):
+        g = path_graph(2)
+        with pytest.raises(GraphError):
+            Decomposition(
+                graph=g,
+                center=np.asarray([0, 0]),
+                hops=np.asarray([0, -1]),
+            )
+
+
+class TestStatistics:
+    def test_piece_sizes_and_members(self):
+        _, d = make_manual_decomposition()
+        np.testing.assert_array_equal(d.piece_sizes(), [3, 3])
+        np.testing.assert_array_equal(d.piece_members(0), [0, 1, 2])
+        np.testing.assert_array_equal(d.piece_members(1), [3, 4, 5])
+
+    def test_radii(self):
+        _, d = make_manual_decomposition()
+        np.testing.assert_array_equal(d.radii(), [2, 1])
+        assert d.max_radius() == 2
+
+    def test_cut_edges(self):
+        _, d = make_manual_decomposition()
+        assert d.num_cut_edges() == 1  # the 2-3 edge
+        assert d.cut_fraction() == pytest.approx(1 / 5)
+        mask = d.cut_mask()
+        assert mask.sum() == 1
+
+    def test_summary_keys(self):
+        _, d = make_manual_decomposition()
+        s = d.summary()
+        for key in (
+            "num_pieces",
+            "max_piece_size",
+            "mean_piece_size",
+            "max_radius",
+            "mean_radius",
+            "num_cut_edges",
+            "cut_fraction",
+        ):
+            assert key in s
+
+    def test_single_piece_no_cut(self):
+        g = grid_2d(3, 3)
+        from repro.bfs.sequential import bfs
+
+        hops = bfs(g, 0).dist
+        d = Decomposition(
+            graph=g, center=np.zeros(9, dtype=np.int64), hops=hops
+        )
+        assert d.num_pieces == 1
+        assert d.cut_fraction() == 0.0
+
+
+class TestPartitionTrace:
+    def test_fields(self):
+        t = PartitionTrace(
+            method="bfs",
+            beta=0.1,
+            rounds=5,
+            work=100,
+            depth=50,
+            delta_max=12.5,
+            wall_time_s=0.01,
+        )
+        assert t.sequential_chain == 0
+        assert t.frontier_sizes == ()
+        assert t.extra == {}

@@ -1,0 +1,87 @@
+"""Unit tests for shift sampling and the ShiftAssignment bundle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.core.shifts import sample_shifts, shifts_from_values
+
+
+class TestSampleShifts:
+    def test_shapes_and_derivations(self):
+        sh = sample_shifts(50, 0.2, seed=1)
+        assert sh.num_vertices == 50
+        assert sh.delta_max == pytest.approx(sh.delta.max())
+        np.testing.assert_allclose(sh.start_time, sh.delta_max - sh.delta)
+        np.testing.assert_array_equal(
+            sh.start_round, np.floor(sh.start_time).astype(np.int64)
+        )
+        np.testing.assert_allclose(
+            sh.tie_key, sh.start_time - sh.start_round
+        )
+
+    def test_start_times_nonnegative_min_zero(self):
+        sh = sample_shifts(100, 0.1, seed=2)
+        assert sh.start_time.min() == pytest.approx(0.0)
+        assert np.all(sh.start_time >= 0)
+
+    def test_reproducible(self):
+        a = sample_shifts(30, 0.3, seed=5)
+        b = sample_shifts(30, 0.3, seed=5)
+        np.testing.assert_array_equal(a.delta, b.delta)
+
+    def test_permutation_mode_keys(self):
+        sh = sample_shifts(40, 0.2, seed=3, mode="permutation")
+        assert sh.mode == "permutation"
+        assert np.unique(sh.tie_key).size == 40
+        np.testing.assert_allclose(
+            np.sort(sh.tie_key), np.arange(40) / 40.0
+        )
+
+    def test_mean_scales_with_beta(self):
+        lo = sample_shifts(5000, 0.05, seed=4).delta.mean()
+        hi = sample_shifts(5000, 0.5, seed=4).delta.mean()
+        assert lo == pytest.approx(1 / 0.05, rel=0.1)
+        assert hi == pytest.approx(1 / 0.5, rel=0.1)
+
+    def test_radius_certificate_is_delta_max(self):
+        sh = sample_shifts(10, 0.5, seed=6)
+        assert sh.radius_certificate() == sh.delta_max
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            sample_shifts(0, 0.5)
+        with pytest.raises(ParameterError):
+            sample_shifts(10, 0.0)
+        with pytest.raises(ParameterError):
+            sample_shifts(10, 0.5, mode="bogus")
+
+    def test_arrays_read_only(self):
+        sh = sample_shifts(5, 0.5, seed=7)
+        with pytest.raises(ValueError):
+            sh.delta[0] = 1.0
+        with pytest.raises(ValueError):
+            sh.tie_key[0] = 0.5
+
+
+class TestShiftsFromValues:
+    def test_explicit_values(self):
+        sh = shifts_from_values(0.5, np.asarray([1.0, 3.5, 0.25]))
+        assert sh.delta_max == 3.5
+        np.testing.assert_allclose(sh.start_time, [2.5, 0.0, 3.25])
+        np.testing.assert_array_equal(sh.start_round, [2, 0, 3])
+
+    def test_allows_beta_above_one(self):
+        # Ablations pass synthetic distributions with arbitrary scale.
+        sh = shifts_from_values(2.0, np.asarray([0.1, 0.9]))
+        assert sh.beta == 2.0
+
+    def test_rejects_bad_arrays(self):
+        with pytest.raises(ParameterError):
+            shifts_from_values(0.5, np.asarray([]))
+        with pytest.raises(ParameterError):
+            shifts_from_values(0.5, np.asarray([-1.0, 2.0]))
+        with pytest.raises(ParameterError):
+            shifts_from_values(0.5, np.asarray([[1.0], [2.0]]))

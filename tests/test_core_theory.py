@@ -1,0 +1,124 @@
+"""Tests pinning the closed-form theory module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.core.theory import (
+    blockdecomp_iteration_bound,
+    cut_probability_bound,
+    diameter_bound,
+    expected_cut_edges_bound,
+    expected_delta_max,
+    failure_probability,
+    theorem12_depth_bound,
+    theorem12_work_bound,
+    whp_radius_bound,
+)
+from repro.rng.order_stats import harmonic_number
+
+
+class TestFormulas:
+    def test_expected_delta_max(self):
+        assert expected_delta_max(10, 0.5) == pytest.approx(
+            harmonic_number(10) / 0.5
+        )
+
+    def test_whp_radius_bound(self):
+        assert whp_radius_bound(100, 0.1, d=1.0) == pytest.approx(
+            2 * np.log(100) / 0.1
+        )
+
+    def test_diameter_is_twice_radius_bound(self):
+        assert diameter_bound(50, 0.2, 1.0) == pytest.approx(
+            2 * whp_radius_bound(50, 0.2, 1.0)
+        )
+
+    def test_failure_probability(self):
+        assert failure_probability(100, 2.0) == pytest.approx(1e-4)
+        with pytest.raises(ParameterError):
+            failure_probability(0, 1.0)
+
+    def test_cut_probability_bound_small_beta(self):
+        # 1 - exp(-βc) < βc and ≈ βc for small β.
+        b = cut_probability_bound(0.01, 1.0)
+        assert b < 0.01
+        assert b == pytest.approx(0.01, rel=0.01)
+
+    def test_cut_probability_monotone_in_c(self):
+        assert cut_probability_bound(0.3, 2.0) > cut_probability_bound(
+            0.3, 1.0
+        )
+
+    def test_expected_cut_edges(self):
+        assert expected_cut_edges_bound(1000, 0.05) == pytest.approx(
+            1000 * (1 - np.exp(-0.05))
+        )
+        assert expected_cut_edges_bound(0, 0.5) == 0.0
+
+    def test_depth_bound_shape(self):
+        # O(log² n / β): quadruples when log n doubles, inverse in β.
+        d1 = theorem12_depth_bound(100, 0.1)
+        d2 = theorem12_depth_bound(10_000, 0.1)
+        assert d2 == pytest.approx(4 * d1)
+        assert theorem12_depth_bound(100, 0.05) == pytest.approx(2 * d1)
+        assert theorem12_depth_bound(1, 0.1) == 0.0
+
+    def test_work_bound_linear(self):
+        assert theorem12_work_bound(500) == 500
+        assert theorem12_work_bound(500, constant=3.0) == 1500
+
+    def test_blockdecomp_iterations(self):
+        assert blockdecomp_iteration_bound(1) == 1
+        assert blockdecomp_iteration_bound(1024) == 11
+        assert blockdecomp_iteration_bound(0) == 1
+
+    def test_domain_errors(self):
+        with pytest.raises(ParameterError):
+            cut_probability_bound(-0.1)
+        with pytest.raises(ParameterError):
+            theorem12_depth_bound(100, 0.0)
+        with pytest.raises(ParameterError):
+            theorem12_work_bound(-1)
+
+
+class TestEmpiricalAgreement:
+    """Light-weight statistical checks that the formulas describe reality
+    (heavier versions live in the benchmarks)."""
+
+    def test_delta_max_sample_mean(self):
+        from repro.core.shifts import sample_shifts
+
+        n, beta = 200, 0.25
+        samples = [
+            sample_shifts(n, beta, seed=s).delta_max for s in range(300)
+        ]
+        assert np.mean(samples) == pytest.approx(
+            expected_delta_max(n, beta), rel=0.05
+        )
+
+    def test_whp_bound_rarely_violated(self):
+        from repro.core.shifts import sample_shifts
+
+        n, beta, d = 300, 0.3, 1.0
+        bound = whp_radius_bound(n, beta, d)
+        violations = sum(
+            sample_shifts(n, beta, seed=s).delta_max > bound
+            for s in range(200)
+        )
+        # Pr[violation] <= n^{-d} = 1/300 per trial.
+        assert violations <= 5
+
+    def test_cut_fraction_tracks_beta(self):
+        from repro.core.ldd_bfs import partition_bfs
+        from repro.graphs.generators import grid_2d
+
+        g = grid_2d(30, 30)
+        for beta in (0.05, 0.2):
+            fractions = [
+                partition_bfs(g, beta, seed=s)[0].cut_fraction()
+                for s in range(5)
+            ]
+            assert np.mean(fractions) <= cut_probability_bound(beta) * 1.5

@@ -1,0 +1,73 @@
+"""Tests for the Section 6 weighted extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.core.weighted import partition_weighted
+from repro.graphs.generators import grid_2d, path_graph
+from repro.graphs.weighted import uniform_weights, weighted_from_edges
+
+
+class TestPartitionWeighted:
+    def test_valid_partition_unit_weights(self):
+        g = uniform_weights(grid_2d(12, 12))
+        d, t = partition_weighted(g, 0.1, seed=0)
+        n = g.num_vertices
+        assert d.center.shape[0] == n
+        np.testing.assert_array_equal(d.center[d.center], d.center)
+        assert np.all(d.radius >= 0)
+
+    def test_radius_bounded_by_delta_max(self):
+        g = uniform_weights(grid_2d(10, 10), 2.0)
+        d, t = partition_weighted(g, 0.2, seed=1)
+        assert d.max_radius() <= t.delta_max + 1e-9
+
+    def test_heavy_edge_cut_more_often_than_light(self):
+        # Lemma 4.4 with c = w: cut probability scales with edge weight.
+        rng = np.random.default_rng(2)
+        g0 = grid_2d(15, 15)
+        edges = g0.edge_array()
+        # Alternate light (0.2) and heavy (5.0) edges.
+        weights = np.where(np.arange(edges.shape[0]) % 2 == 0, 0.2, 5.0)
+        g = weighted_from_edges(g0.num_vertices, edges, weights)
+        light_cut = heavy_cut = 0
+        light_total = (weights == 0.2).sum()
+        heavy_total = (weights == 5.0).sum()
+        for seed in range(8):
+            d, _ = partition_weighted(g, 0.15, seed=seed)
+            labels = d.labels
+            cross = labels[edges[:, 0]] != labels[edges[:, 1]]
+            light_cut += int((cross & (weights == 0.2)).sum())
+            heavy_cut += int((cross & (weights == 5.0)).sum())
+        assert heavy_cut / heavy_total > light_cut / max(light_total, 1)
+
+    def test_reduces_to_unweighted_statistics(self):
+        # With unit weights the weighted cut fraction equals the edge cut
+        # fraction.
+        g = uniform_weights(grid_2d(10, 10))
+        d, _ = partition_weighted(g, 0.2, seed=3)
+        assert d.cut_weight_fraction() == pytest.approx(
+            d.num_cut_edges() / g.num_edges
+        )
+
+    def test_labels_dense(self):
+        g = uniform_weights(path_graph(20))
+        d, _ = partition_weighted(g, 0.3, seed=4)
+        labels = d.labels
+        assert labels.min() == 0
+        assert labels.max() == d.num_pieces - 1
+
+    def test_trace_notes_uncontrolled_depth(self):
+        g = uniform_weights(path_graph(10))
+        _, t = partition_weighted(g, 0.3, seed=5)
+        assert "Section 6" in t.extra["note"]
+        assert t.method == "weighted-dijkstra"
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs.build import empty_graph
+
+        with pytest.raises(GraphError):
+            partition_weighted(uniform_weights(empty_graph(0)), 0.5)

@@ -1,0 +1,129 @@
+"""Unit tests for the CSR graph structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.build import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import grid_2d, path_graph
+
+
+class TestConstruction:
+    def test_simple_triangle(self):
+        g = from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.num_arcs == 6
+
+    def test_empty_graph_allowed(self):
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices(self):
+        g = from_edges(5, [(0, 1)])
+        assert g.degree(4) == 0
+        assert g.num_edges == 1
+
+    def test_rejects_bad_indptr_start(self):
+        with pytest.raises(GraphError, match="indptr\\[0\\]"):
+            CSRGraph(np.asarray([1, 2]), np.asarray([0, 0]))
+
+    def test_rejects_indptr_indices_mismatch(self):
+        with pytest.raises(GraphError, match="must equal len"):
+            CSRGraph(np.asarray([0, 1]), np.asarray([0, 0]))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(GraphError, match="non-decreasing"):
+            CSRGraph(np.asarray([0, 2, 1, 2]), np.asarray([1, 2]))
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(GraphError, match="out-of-range"):
+            CSRGraph(np.asarray([0, 1, 2]), np.asarray([0, 5]))
+
+    def test_rejects_asymmetric_adjacency(self):
+        # arc 0->1 present, 1->0 absent (replaced by 1->2 etc. mismatch)
+        with pytest.raises(GraphError, match="not symmetric"):
+            CSRGraph(np.asarray([0, 1, 2, 2]), np.asarray([1, 2]))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            from_edges(2, [(0, 0)])
+
+    def test_rejects_odd_arcs(self):
+        with pytest.raises(GraphError, match="odd"):
+            CSRGraph(np.asarray([0, 1]), np.asarray([0]))
+
+    def test_arrays_are_read_only(self):
+        g = from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.indptr[0] = 5
+        with pytest.raises(ValueError):
+            g.indices[0] = 2
+
+
+class TestAccessors:
+    def test_degrees_match_neighbors(self):
+        g = grid_2d(4, 4)
+        for v in range(g.num_vertices):
+            assert g.degree(v) == g.neighbors(v).shape[0]
+        np.testing.assert_array_equal(
+            g.degrees(), [g.degree(v) for v in range(g.num_vertices)]
+        )
+
+    def test_grid_corner_degree(self):
+        g = grid_2d(3, 3)
+        assert g.degree(0) == 2  # corner
+        assert g.degree(4) == 4  # center
+
+    def test_neighbors_sorted(self):
+        g = grid_2d(5, 5)
+        for v in range(g.num_vertices):
+            nbrs = g.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_has_edge(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(2, 3)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 0)
+        assert not g.has_edge(0, 99)
+
+    def test_edge_array_canonical(self):
+        g = from_edges(4, [(3, 2), (1, 0), (0, 2)])
+        edges = g.edge_array()
+        np.testing.assert_array_equal(edges, [[0, 1], [0, 2], [2, 3]])
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_iter_edges_matches_edge_array(self):
+        g = grid_2d(3, 4)
+        assert list(g.iter_edges()) == [tuple(e) for e in g.edge_array()]
+
+    def test_arc_sources_aligned_with_indices(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        src = g.arc_sources()
+        assert src.shape[0] == g.num_arcs
+        # vertex 1 has two arcs
+        assert (src == 1).sum() == 2
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        g1 = from_edges(3, [(0, 1), (1, 2)])
+        g2 = from_edges(3, [(1, 2), (0, 1)])
+        g3 = from_edges(3, [(0, 1)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+        assert g1 != "not a graph"
+
+    def test_repr_contains_counts(self):
+        g = path_graph(5)
+        assert "n=5" in repr(g) and "m=4" in repr(g)
+
+    def test_memory_bytes_positive(self):
+        assert grid_2d(3, 3).memory_bytes() > 0

@@ -1,0 +1,205 @@
+"""Unit tests for the synthetic graph families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import (
+    barabasi_albert,
+    binary_tree,
+    by_name,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    grid_3d,
+    hypercube,
+    path_graph,
+    random_regular,
+    star_graph,
+    stochastic_block_model,
+    torus_2d,
+)
+from repro.graphs.ops import is_connected
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(10)
+        assert g.num_edges == 9
+        assert g.degree(0) == 1 and g.degree(5) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(10)
+        assert g.num_edges == 10
+        assert np.all(g.degrees() == 2)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert np.all(g.degrees() == 5)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert g.num_edges == 6
+
+    def test_star_singleton(self):
+        assert star_graph(1).num_edges == 0
+
+    def test_grid_2d_counts(self):
+        g = grid_2d(4, 6)
+        assert g.num_vertices == 24
+        assert g.num_edges == 4 * 5 + 3 * 6  # horizontal + vertical
+
+    def test_grid_2d_adjacency_geometry(self):
+        g = grid_2d(3, 3)
+        # center vertex (1,1) = id 4 adjacent to 1, 3, 5, 7
+        np.testing.assert_array_equal(g.neighbors(4), [1, 3, 5, 7])
+
+    def test_torus_regular(self):
+        g = torus_2d(4, 5)
+        assert np.all(g.degrees() == 4)
+        assert g.num_edges == 2 * 4 * 5
+
+    def test_torus_min_size(self):
+        with pytest.raises(ParameterError):
+            torus_2d(2, 5)
+
+    def test_grid_3d(self):
+        g = grid_3d(2, 3, 4)
+        assert g.num_vertices == 24
+        expected = 1 * 3 * 4 + 2 * 2 * 4 + 2 * 3 * 3
+        assert g.num_edges == expected
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert is_connected(g)
+
+    def test_binary_tree_height_zero(self):
+        assert binary_tree(0).num_vertices == 1
+
+    def test_caterpillar(self):
+        g = caterpillar(5, 3)
+        assert g.num_vertices == 5 + 15
+        assert g.num_edges == 4 + 15
+        assert is_connected(g)
+
+    def test_caterpillar_no_legs(self):
+        g = caterpillar(4, 0)
+        assert g.num_edges == 3
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.num_vertices == 16
+        assert np.all(g.degrees() == 4)
+        assert g.num_edges == 32
+
+    def test_hypercube_dim_zero(self):
+        assert hypercube(0).num_vertices == 1
+
+
+class TestRandomFamilies:
+    def test_er_reproducible(self):
+        a = erdos_renyi(60, 0.1, seed=5)
+        b = erdos_renyi(60, 0.1, seed=5)
+        assert a == b
+
+    def test_er_different_seeds_differ(self):
+        a = erdos_renyi(60, 0.1, seed=5)
+        b = erdos_renyi(60, 0.1, seed=6)
+        assert a != b
+
+    def test_er_edge_count_near_expectation(self):
+        n, p = 120, 0.08
+        g = erdos_renyi(n, p, seed=1)
+        expected = p * n * (n - 1) / 2
+        assert 0.6 * expected < g.num_edges < 1.4 * expected
+
+    def test_er_p_zero_and_extremes(self):
+        assert erdos_renyi(20, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=0).num_edges == 45
+
+    def test_er_sparse_path_produces_valid_graph(self):
+        g = erdos_renyi(3000, 0.0008, seed=3)
+        assert g.num_vertices == 3000
+        expected = 0.0008 * 3000 * 2999 / 2
+        assert 0.5 * expected < g.num_edges < 1.6 * expected
+
+    def test_er_bad_p(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(10, 1.5)
+
+    def test_random_regular(self):
+        g = random_regular(30, 3, seed=2)
+        assert np.all(g.degrees() == 3)
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ParameterError, match="even"):
+            random_regular(5, 3)
+
+    def test_random_regular_d_too_large(self):
+        with pytest.raises(ParameterError):
+            random_regular(4, 4)
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert(80, 2, seed=3)
+        assert g.num_vertices == 80
+        # core clique K_3 + 2 per newcomer
+        assert g.num_edges == 3 + 2 * 77
+        assert is_connected(g)
+
+    def test_barabasi_albert_hub_exists(self):
+        g = barabasi_albert(200, 1, seed=4)
+        assert g.degrees().max() >= 8  # preferential attachment creates hubs
+
+    def test_sbm_structure(self):
+        g = stochastic_block_model([25, 25], 0.4, 0.02, seed=7)
+        edges = g.edge_array()
+        same = ((edges[:, 0] < 25) & (edges[:, 1] < 25)) | (
+            (edges[:, 0] >= 25) & (edges[:, 1] >= 25)
+        )
+        # Within-block edges should dominate by far.
+        assert same.sum() > 4 * (~same).sum()
+
+    def test_sbm_bad_probability(self):
+        with pytest.raises(ParameterError):
+            stochastic_block_model([5, 5], 1.2, 0.1)
+
+    def test_sbm_empty_blocks_rejected(self):
+        with pytest.raises(ParameterError):
+            stochastic_block_model([], 0.5, 0.5)
+
+
+class TestByName:
+    def test_grid_shorthand(self):
+        g = by_name("grid:8x5")
+        assert g.num_vertices == 40
+
+    def test_er_spec(self):
+        g = by_name("er:50,0.1", seed=1)
+        assert g.num_vertices == 50
+
+    def test_sbm_spec(self):
+        g = by_name("sbm:2,20,0.5,0.05", seed=1)
+        assert g.num_vertices == 40
+
+    def test_unknown_generator(self):
+        with pytest.raises(ParameterError, match="unknown generator"):
+            by_name("nope:3")
+
+    def test_missing_args(self):
+        with pytest.raises(ParameterError, match="missing"):
+            by_name("grid")
+
+    def test_deterministic_family_via_spec(self):
+        assert by_name("path:17").num_edges == 16

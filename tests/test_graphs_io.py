@@ -1,0 +1,86 @@
+"""Round-trip tests for graph serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.build import from_edges
+from repro.graphs.generators import erdos_renyi, grid_2d, path_graph
+from repro.graphs.io import (
+    from_json,
+    read_edge_list,
+    read_metis,
+    to_json,
+    write_edge_list,
+    write_metis,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = grid_2d(5, 7)
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_round_trip_edgeless(self, tmp_path):
+        g = from_edges(4, [])
+        path = tmp_path / "empty.edges"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.num_vertices == 4 and back.num_edges == 0
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("garbage\n")
+        with pytest.raises(GraphError, match="header"):
+            read_edge_list(path)
+
+    def test_count_mismatch(self, tmp_path):
+        path = tmp_path / "short.edges"
+        path.write_text("3 2\n0 1\n")
+        with pytest.raises(GraphError, match="mismatch"):
+            read_edge_list(path)
+
+
+class TestMetis:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(40, 0.1, seed=2)
+        path = tmp_path / "g.metis"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        g = from_edges(5, [(0, 1)])
+        path = tmp_path / "iso.metis"
+        write_metis(g, path)
+        back = read_metis(path)
+        assert back.num_vertices == 5
+        assert back == g
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "trunc.metis"
+        path.write_text("3 2\n2\n")
+        with pytest.raises(GraphError, match="truncated"):
+            read_metis(path)
+
+    def test_header_edge_mismatch(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphError, match="mismatch"):
+            read_metis(path)
+
+
+class TestJson:
+    def test_round_trip(self):
+        g = path_graph(9)
+        assert from_json(to_json(g)) == g
+
+    def test_json_is_parsable_dict(self):
+        import json
+
+        doc = json.loads(to_json(grid_2d(2, 2)))
+        assert doc["num_vertices"] == 4
+        assert len(doc["edges"]) == 4

@@ -1,0 +1,85 @@
+"""Unit tests for weighted CSR graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import grid_2d, path_graph
+from repro.graphs.weighted import (
+    WeightedCSRGraph,
+    uniform_weights,
+    weighted_from_edges,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = weighted_from_edges(
+            3, np.asarray([[0, 1], [1, 2]]), np.asarray([2.0, 3.0])
+        )
+        assert g.num_edges == 2
+        assert g.total_weight() == pytest.approx(5.0)
+
+    def test_weights_aligned_with_neighbors(self):
+        g = weighted_from_edges(
+            3, np.asarray([[0, 1], [1, 2]]), np.asarray([2.0, 3.0])
+        )
+        nbrs = g.neighbors(1)
+        w = g.neighbor_weights(1)
+        lookup = dict(zip(nbrs.tolist(), w.tolist()))
+        assert lookup == {0: 2.0, 2: 3.0}
+
+    def test_edge_weight_array_matches_edge_array(self):
+        edges = np.asarray([[0, 1], [1, 2], [0, 3]])
+        weights = np.asarray([5.0, 7.0, 9.0])
+        g = weighted_from_edges(4, edges, weights)
+        ea = g.edge_array()
+        wa = g.edge_weight_array()
+        expected = {(0, 1): 5.0, (1, 2): 7.0, (0, 3): 9.0}
+        for (u, v), w in zip(map(tuple, ea), wa):
+            assert expected[(u, v)] == w
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(GraphError, match="positive"):
+            weighted_from_edges(
+                2, np.asarray([[0, 1]]), np.asarray([0.0])
+            )
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            weighted_from_edges(
+                2, np.asarray([[0, 1], [1, 0]]), np.asarray([1.0, 2.0])
+            )
+
+    def test_rejects_weight_count_mismatch(self):
+        with pytest.raises(GraphError, match="one weight per edge"):
+            weighted_from_edges(2, np.asarray([[0, 1]]), np.asarray([1.0, 2.0]))
+
+    def test_rejects_asymmetric_weight_arrays(self):
+        g = path_graph(3)
+        bad = np.arange(1, g.num_arcs + 1, dtype=np.float64)
+        with pytest.raises(GraphError, match="symmetric"):
+            WeightedCSRGraph(g.indptr, g.indices, bad)
+
+    def test_weights_read_only(self):
+        g = uniform_weights(path_graph(3))
+        with pytest.raises(ValueError):
+            g.weights[0] = 9.0
+
+
+class TestUniformWeights:
+    def test_lift_and_drop(self):
+        g = grid_2d(3, 3)
+        wg = uniform_weights(g, 2.5)
+        assert wg.total_weight() == pytest.approx(2.5 * g.num_edges)
+        assert wg.unweighted() == g
+
+    def test_invalid_weight(self):
+        with pytest.raises(GraphError):
+            uniform_weights(path_graph(3), 0.0)
+
+    def test_repr_mentions_weight(self):
+        wg = uniform_weights(path_graph(3), 1.0)
+        assert "total_weight" in repr(wg)

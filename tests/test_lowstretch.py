@@ -1,0 +1,162 @@
+"""Tests for AKPW low-stretch spanning trees and stretch measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ParameterError
+from repro.bfs.sequential import bfs
+from repro.graphs.build import from_edges
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    torus_2d,
+)
+from repro.lowstretch.akpw import (
+    akpw_spanning_tree,
+    bfs_spanning_tree,
+)
+from repro.lowstretch.stretch import edge_stretches, stretch_report
+from repro.trees.structure import RootedForest
+
+
+class TestAKPW:
+    def test_produces_spanning_tree_connected(self, medium_grid):
+        res = akpw_spanning_tree(medium_grid, beta=0.4, seed=0)
+        assert res.forest.is_tree()
+        assert res.forest.num_edges() == medium_grid.num_vertices - 1
+
+    def test_tree_edges_are_graph_edges(self, small_grid):
+        res = akpw_spanning_tree(small_grid, beta=0.4, seed=1)
+        parent = res.forest.parent
+        for v in np.flatnonzero(parent != -1):
+            assert small_grid.has_edge(int(v), int(parent[v]))
+
+    def test_disconnected_graph_gives_forest(self, two_triangles):
+        res = akpw_spanning_tree(two_triangles, beta=0.5, seed=2)
+        assert res.forest.roots().shape[0] == 2
+        assert res.forest.num_edges() == 4
+
+    def test_level_record_monotone(self):
+        g = grid_2d(15, 15)
+        res = akpw_spanning_tree(g, beta=0.5, seed=3)
+        sizes = [n for n, _ in res.level_sizes]
+        assert sizes == sorted(sizes, reverse=True)
+        assert res.num_levels == len(res.level_betas)
+
+    def test_reproducible(self, small_grid):
+        a = akpw_spanning_tree(small_grid, beta=0.4, seed=9)
+        b = akpw_spanning_tree(small_grid, beta=0.4, seed=9)
+        np.testing.assert_array_equal(a.forest.parent, b.forest.parent)
+
+    def test_bad_beta(self, small_grid):
+        with pytest.raises(ParameterError):
+            akpw_spanning_tree(small_grid, beta=0.0)
+        with pytest.raises(ParameterError):
+            akpw_spanning_tree(small_grid, beta=1.0)
+
+    def test_empty_graph(self):
+        with pytest.raises(GraphError):
+            akpw_spanning_tree(from_edges(0, []))
+
+    def test_edgeless_graph(self):
+        res = akpw_spanning_tree(from_edges(4, []), beta=0.5, seed=1)
+        assert res.forest.num_edges() == 0
+        assert res.num_levels == 0
+
+    def test_beats_bfs_tree_on_torus_average(self):
+        # Tori are the classic case where BFS trees concentrate stretch;
+        # compare averages over a few seeds.
+        g = torus_2d(12, 12)
+        akpw_means, bfs_means = [], []
+        for seed in range(4):
+            t1 = akpw_spanning_tree(g, beta=0.4, seed=seed).forest
+            t2 = bfs_spanning_tree(g, seed=seed)
+            akpw_means.append(stretch_report(g, t1).mean)
+            bfs_means.append(stretch_report(g, t2).mean)
+        assert np.mean(akpw_means) <= np.mean(bfs_means) * 1.25
+
+
+class TestBFSSpanningTree:
+    def test_spanning_and_valid(self, medium_grid):
+        f = bfs_spanning_tree(medium_grid, seed=0)
+        assert f.is_tree()
+        assert f.num_edges() == medium_grid.num_vertices - 1
+
+    def test_fixed_root(self, small_grid):
+        f = bfs_spanning_tree(small_grid, root=7)
+        assert f.parent[7] == -1
+        np.testing.assert_array_equal(f.depth, bfs(small_grid, 7).dist)
+
+    def test_disconnected(self, two_triangles):
+        f = bfs_spanning_tree(two_triangles, seed=1)
+        assert f.roots().shape[0] == 2
+
+
+class TestStretch:
+    def test_tree_edges_have_stretch_one(self, small_grid):
+        f = bfs_spanning_tree(small_grid, root=0)
+        s = edge_stretches(small_grid, f)
+        edges = small_grid.edge_array()
+        tree_pairs = {
+            (min(int(v), int(f.parent[v])), max(int(v), int(f.parent[v])))
+            for v in np.flatnonzero(f.parent != -1)
+        }
+        for (u, v), stretch in zip(map(tuple, edges), s):
+            if (u, v) in tree_pairs:
+                assert stretch == 1.0
+            else:
+                assert stretch >= 1.0
+
+    def test_cycle_stretch_exact(self):
+        # Spanning tree of C_n is a path; the removed edge has stretch n-1.
+        n = 20
+        g = cycle_graph(n)
+        f = bfs_spanning_tree(g, root=0)
+        rep = stretch_report(g, f)
+        assert rep.max == n - 1
+        assert rep.total == pytest.approx((n - 1) + (n - 1))
+
+    def test_stretch_via_prebuilt_lca(self, small_grid):
+        from repro.trees.lca import LCAIndex
+
+        f = bfs_spanning_tree(small_grid, root=0)
+        idx = LCAIndex(f)
+        a = edge_stretches(small_grid, f, lca=idx)
+        b = edge_stretches(small_grid, f)
+        np.testing.assert_array_equal(a, b)
+
+    def test_non_spanning_forest_rejected(self):
+        g = cycle_graph(6)
+        # A forest covering only part of the cycle.
+        partial = RootedForest.from_parents(
+            np.asarray([-1, 0, 1, -1, -1, -1])
+        )
+        with pytest.raises(GraphError, match="span"):
+            edge_stretches(g, partial)
+
+    def test_vertex_count_mismatch(self):
+        with pytest.raises(GraphError):
+            edge_stretches(
+                path_graph(4),
+                RootedForest.from_parents(np.asarray([-1, 0])),
+            )
+
+    def test_empty_graph_report(self):
+        rep = stretch_report(
+            from_edges(3, []),
+            RootedForest.from_parents(np.asarray([-1, -1, -1])),
+        )
+        assert rep.num_edges == 0 and rep.total == 0.0
+
+    def test_report_statistics_consistent(self):
+        g = erdos_renyi(50, 0.1, seed=4)
+        res = akpw_spanning_tree(g, beta=0.5, seed=4)
+        rep = stretch_report(g, res.forest)
+        s = edge_stretches(g, res.forest)
+        assert rep.mean == pytest.approx(s.mean())
+        assert rep.total == pytest.approx(s.sum())
+        assert rep.max == s.max()

@@ -1,0 +1,80 @@
+"""Tests for the cluster distance oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.bfs.sequential import multi_source_bfs
+from repro.core.ldd_bfs import partition_bfs
+from repro.oracles.cluster_oracle import ClusterDistanceOracle, build_oracle
+from repro.graphs.generators import erdos_renyi, grid_2d, path_graph
+
+
+class TestOracleCorrectness:
+    def test_never_underestimates_exhaustive(self):
+        g = grid_2d(8, 8)
+        oracle = build_oracle(g, 0.25, seed=0)
+        for s in range(0, g.num_vertices, 7):
+            exact = multi_source_bfs(g, np.asarray([s])).dist
+            others = np.arange(g.num_vertices)
+            est = oracle.estimate(np.full(g.num_vertices, s), others)
+            assert np.all(est >= exact - 1e-9)
+
+    def test_same_vertex_zero(self):
+        oracle = build_oracle(grid_2d(5, 5), 0.3, seed=1)
+        assert oracle.estimate(7, 7)[0] == 0.0
+
+    def test_same_piece_routes_through_center(self):
+        g = path_graph(10)
+        d, _ = partition_bfs(g, 0.2, seed=2)
+        oracle = ClusterDistanceOracle(d)
+        labels = d.labels
+        # Find two vertices in one piece.
+        for piece in range(d.num_pieces):
+            members = np.flatnonzero(labels == piece)
+            if members.size >= 2:
+                u, v = int(members[0]), int(members[-1])
+                est = oracle.estimate(u, v)[0]
+                assert est == d.hops[u] + d.hops[v]
+                break
+
+    def test_cross_component_infinite(self, two_triangles):
+        oracle = build_oracle(two_triangles, 0.5, seed=3)
+        assert np.isinf(oracle.estimate(0, 3)[0])
+
+    def test_estimate_shape_validation(self):
+        oracle = build_oracle(grid_2d(4, 4), 0.4, seed=4)
+        with pytest.raises(ParameterError):
+            oracle.estimate(np.asarray([0, 1]), np.asarray([0]))
+
+
+class TestOracleEvaluation:
+    def test_evaluation_report(self):
+        g = grid_2d(12, 12)
+        oracle = build_oracle(g, 0.2, seed=5)
+        rep = oracle.evaluate(num_sources=6, seed=6)
+        assert rep.num_pairs > 0
+        assert rep.underestimate_fraction == 0.0
+        assert rep.mean_ratio >= 1.0
+        assert rep.max_ratio >= rep.mean_ratio
+
+    def test_quality_improves_with_more_pieces(self):
+        # Larger β → smaller pieces → tighter center routing on average.
+        g = grid_2d(15, 15)
+        coarse = build_oracle(g, 0.03, seed=7).evaluate(num_sources=6, seed=8)
+        fine = build_oracle(g, 0.4, seed=7).evaluate(num_sources=6, seed=8)
+        assert fine.mean_ratio <= coarse.mean_ratio * 1.5
+
+    def test_sparse_random_graph(self):
+        g = erdos_renyi(70, 0.06, seed=9)
+        oracle = build_oracle(g, 0.3, seed=10)
+        rep = oracle.evaluate(num_sources=8, seed=11)
+        assert rep.underestimate_fraction == 0.0
+
+    def test_num_pieces_property(self):
+        g = grid_2d(6, 6)
+        d, _ = partition_bfs(g, 0.3, seed=12)
+        oracle = ClusterDistanceOracle(d)
+        assert oracle.num_pieces == d.num_pieces

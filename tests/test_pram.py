@@ -1,0 +1,138 @@
+"""Unit tests for the work-depth cost model and instrumented primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.pram.cost_model import CostRecord, WorkDepthCounter, brent_time
+from repro.pram.primitives import (
+    log2_ceil,
+    par_map,
+    par_max,
+    par_min,
+    par_pack,
+    par_reduce,
+    par_scan,
+)
+
+
+class TestCostRecord:
+    def test_sequential_composition(self):
+        c = CostRecord(10, 2).then(CostRecord(5, 3))
+        assert (c.work, c.depth) == (15, 5)
+
+    def test_parallel_composition(self):
+        c = CostRecord(10, 2).alongside(CostRecord(5, 7))
+        assert (c.work, c.depth) == (15, 7)
+
+    def test_scaled(self):
+        c = CostRecord(3, 2).scaled(4)
+        assert (c.work, c.depth) == (12, 8)
+
+    def test_scaled_negative(self):
+        with pytest.raises(ParameterError):
+            CostRecord(1, 1).scaled(-1)
+
+
+class TestWorkDepthCounter:
+    def test_charge_accumulates_sequentially(self):
+        c = WorkDepthCounter()
+        c.charge(100, 1)
+        c.charge(50, 4)
+        assert c.work == 150 and c.depth == 5
+
+    def test_labelled_breakdown(self):
+        c = WorkDepthCounter()
+        c.charge(10, 1, label="bfs")
+        c.charge(20, 2, label="bfs")
+        c.charge(5, 1, label="setup")
+        assert c.breakdown["bfs"].work == 30
+        assert c.breakdown["bfs"].depth == 3
+        assert c.breakdown["setup"].work == 5
+
+    def test_parallel_region_max_depth(self):
+        children = [WorkDepthCounter(), WorkDepthCounter()]
+        children[0].charge(10, 3)
+        children[1].charge(20, 7)
+        parent = WorkDepthCounter()
+        parent.parallel_region(children)
+        assert parent.work == 30 and parent.depth == 7
+
+    def test_parallel_region_empty(self):
+        c = WorkDepthCounter()
+        c.parallel_region([])
+        assert c.work == 0 and c.depth == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ParameterError):
+            WorkDepthCounter().charge(-1, 0)
+
+    def test_snapshot(self):
+        c = WorkDepthCounter()
+        c.charge(7, 2)
+        snap = c.snapshot()
+        assert (snap.work, snap.depth) == (7, 2)
+
+
+class TestBrent:
+    def test_bound_formula(self):
+        assert brent_time(1000, 10, 10) == pytest.approx(110.0)
+
+    def test_single_processor_is_work_plus_depth(self):
+        assert brent_time(100, 7, 1) == 107.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ParameterError):
+            brent_time(100, 1, 0)
+        with pytest.raises(ParameterError):
+            brent_time(-1, 1, 1)
+
+
+class TestPrimitives:
+    def test_log2_ceil(self):
+        assert log2_ceil(0) == 1
+        assert log2_ceil(1) == 1
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(1024) == 10
+        assert log2_ceil(1025) == 11
+
+    def test_par_map_cost_and_value(self):
+        c = WorkDepthCounter()
+        out = par_map(c, lambda a: a * 2, np.arange(8))
+        np.testing.assert_array_equal(out, np.arange(8) * 2)
+        assert c.work == 8 and c.depth == 1
+
+    def test_par_reduce(self):
+        c = WorkDepthCounter()
+        assert par_reduce(c, np.arange(10)) == 45.0
+        assert c.work == 10 and c.depth == log2_ceil(10)
+
+    def test_par_max_min(self):
+        c = WorkDepthCounter()
+        arr = np.asarray([3.0, 9.0, 1.0])
+        assert par_max(c, arr) == 9.0
+        assert par_min(c, arr) == 1.0
+        assert c.depth == 2 * log2_ceil(3)
+
+    def test_par_scan_exclusive(self):
+        c = WorkDepthCounter()
+        out = par_scan(c, np.asarray([3, 1, 4, 1, 5]))
+        np.testing.assert_array_equal(out, [0, 3, 4, 8, 9])
+        assert c.work == 10
+
+    def test_par_scan_small(self):
+        c = WorkDepthCounter()
+        np.testing.assert_array_equal(par_scan(c, np.asarray([7])), [0])
+        np.testing.assert_array_equal(
+            par_scan(c, np.asarray([], dtype=np.int64)), []
+        )
+
+    def test_par_pack(self):
+        c = WorkDepthCounter()
+        arr = np.arange(6)
+        mask = arr % 2 == 0
+        np.testing.assert_array_equal(par_pack(c, arr, mask), [0, 2, 4])
+        assert c.work == 18

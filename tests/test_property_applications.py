@@ -1,0 +1,109 @@
+"""Hypothesis property tests for the application layers.
+
+Universally quantified over random (connected) graphs:
+
+- spanners never disconnect and respect the 4r+1 certificate;
+- block decompositions partition the edge set exactly;
+- AKPW forests span every component with graph edges only;
+- the tree preconditioner equals the dense pseudo-inverse;
+- oracle estimates never undershoot true distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bfs.sequential import multi_source_bfs
+from repro.blockdecomp.linial_saks import block_decomposition
+from repro.core.ldd_bfs import partition_bfs
+from repro.lowstretch.akpw import akpw_spanning_tree
+from repro.oracles.cluster_oracle import ClusterDistanceOracle
+from repro.solvers.laplacian import graph_laplacian
+from repro.solvers.tree_precond import TreePreconditioner
+from repro.spanners.cluster_spanner import spanner_from_decomposition
+from repro.trees.structure import RootedForest
+
+from tests.conftest import connected_graphs, random_graphs
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(connected_graphs(max_vertices=16), st.integers(0, 10_000))
+def test_spanner_certificate_universal(graph, seed):
+    decomposition, _ = partition_bfs(graph, 0.4, seed=seed)
+    res = spanner_from_decomposition(decomposition)
+    # Every original edge's endpoints lie within the bound in the spanner.
+    for u, v in graph.iter_edges():
+        d = multi_source_bfs(res.spanner, np.asarray([u])).dist[v]
+        assert 0 <= d <= res.stretch_bound
+
+
+@COMMON
+@given(random_graphs(max_vertices=16, require_edges=True), st.integers(0, 10_000))
+def test_block_decomposition_partitions_edges(graph, seed):
+    bd = block_decomposition(graph, seed=seed)
+    assert np.all(bd.edge_block >= 0)
+    assert bd.block_edge_counts().sum() == graph.num_edges
+    total = sum(
+        bd.block_subgraph(b).num_edges for b in range(bd.num_blocks)
+    )
+    assert total == graph.num_edges
+
+
+@COMMON
+@given(random_graphs(max_vertices=16), st.integers(0, 10_000))
+def test_akpw_spans_components_with_graph_edges(graph, seed):
+    res = akpw_spanning_tree(graph, beta=0.5, seed=seed)
+    forest = res.forest
+    # Edge count = n - #components, every edge is a graph edge.
+    from repro.graphs.ops import num_components
+
+    assert forest.num_edges() == graph.num_vertices - num_components(graph)
+    for v in np.flatnonzero(forest.parent != -1):
+        assert graph.has_edge(int(v), int(forest.parent[v]))
+
+
+@COMMON
+@given(st.integers(2, 24), st.integers(0, 10_000))
+def test_tree_preconditioner_equals_pinv_on_random_trees(n, seed):
+    rng = np.random.default_rng(seed)
+    parent = np.full(n, -1, dtype=np.int64)
+    weight = np.zeros(n, dtype=np.float64)
+    for v in range(1, n):
+        parent[v] = int(rng.integers(v))
+        weight[v] = float(rng.uniform(0.5, 3.0))
+    forest = RootedForest(parent=parent, edge_weight=weight)
+    lap = graph_laplacian(
+        _weighted_tree_graph(n, parent, weight)
+    ).toarray()
+    b = rng.standard_normal(n)
+    b -= b.mean()
+    tp = TreePreconditioner(forest)
+    np.testing.assert_allclose(tp.apply(b), np.linalg.pinv(lap) @ b, atol=1e-7)
+
+
+def _weighted_tree_graph(n, parent, weight):
+    from repro.graphs.weighted import weighted_from_edges
+
+    child = np.flatnonzero(parent != -1)
+    edges = np.stack([child, parent[child]], axis=1)
+    return weighted_from_edges(n, edges, weight[child])
+
+
+@COMMON
+@given(connected_graphs(max_vertices=14), st.integers(0, 10_000))
+def test_oracle_never_underestimates_universal(graph, seed):
+    decomposition, _ = partition_bfs(graph, 0.4, seed=seed)
+    oracle = ClusterDistanceOracle(decomposition)
+    n = graph.num_vertices
+    for s in range(n):
+        exact = multi_source_bfs(graph, np.asarray([s])).dist
+        est = oracle.estimate(np.full(n, s), np.arange(n))
+        assert np.all(est >= exact - 1e-9)

@@ -1,0 +1,137 @@
+"""Hypothesis property tests for the core partition invariants.
+
+These encode the paper's deterministic guarantees as universally quantified
+properties over random graphs and random shift configurations:
+
+- the BFS engine and the exact Dijkstra reference agree **exactly**
+  (Section 5's equivalence claim);
+- every output is a total partition into connected pieces with hop
+  distances equal to in-piece distances (Lemma 4.1);
+- piece radii never exceed the shift certificate δ_max (Theorem 1.2's
+  radius argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bfs.delayed import delayed_multisource_bfs
+from repro.bfs.dijkstra import shifted_integer_dijkstra
+from repro.core.ldd_bfs import partition_bfs_with_shifts
+from repro.core.ldd_exact import partition_exact_with_shifts
+from repro.core.shifts import sample_shifts, shifts_from_values
+from repro.core.verify import verify_decomposition
+
+from tests.conftest import connected_graphs, random_graphs
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_shifts(draw):
+    """A random graph with random non-negative shift values for it."""
+    graph = draw(random_graphs(min_vertices=2, max_vertices=18))
+    n = graph.num_vertices
+    beta = draw(st.floats(0.05, 0.95))
+    raw = draw(
+        st.lists(
+            st.floats(0.0, 12.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    shifts = shifts_from_values(beta, np.asarray(raw))
+    return graph, shifts
+
+
+@COMMON
+@given(graph_and_shifts())
+def test_bfs_equals_exact_on_arbitrary_shifts(data):
+    graph, shifts = data
+    d_bfs, _ = partition_bfs_with_shifts(graph, shifts)
+    d_exact, _ = partition_exact_with_shifts(graph, shifts)
+    np.testing.assert_array_equal(d_bfs.center, d_exact.center)
+    np.testing.assert_array_equal(d_bfs.hops, d_exact.hops)
+
+
+@COMMON
+@given(
+    random_graphs(min_vertices=2, max_vertices=20),
+    st.floats(0.05, 0.9),
+    st.integers(0, 10_000),
+)
+def test_partition_invariants_hold(graph, beta, seed):
+    shifts = sample_shifts(graph.num_vertices, beta, seed=seed)
+    decomposition, trace = partition_bfs_with_shifts(graph, shifts)
+    report = verify_decomposition(decomposition, raise_on_violation=True)
+    assert report.all_invariants_hold()
+    assert decomposition.max_radius() <= shifts.delta_max
+
+
+@COMMON
+@given(
+    connected_graphs(min_vertices=2, max_vertices=16),
+    st.integers(0, 10_000),
+)
+def test_fractional_and_permutation_modes_both_valid(graph, seed):
+    for mode in ("fractional", "permutation"):
+        shifts = sample_shifts(graph.num_vertices, 0.4, seed=seed, mode=mode)
+        decomposition, _ = partition_bfs_with_shifts(graph, shifts)
+        verify_decomposition(decomposition, raise_on_violation=True)
+
+
+@COMMON
+@given(
+    random_graphs(min_vertices=2, max_vertices=16),
+    st.integers(0, 10_000),
+)
+def test_delayed_bfs_round_decomposition(graph, seed):
+    """round_claimed == floor(start of center) + hops, for every vertex."""
+    rng = np.random.default_rng(seed)
+    start = rng.random(graph.num_vertices) * rng.integers(1, 10)
+    res = delayed_multisource_bfs(graph, start)
+    floor = np.floor(start).astype(np.int64)
+    np.testing.assert_array_equal(
+        res.round_claimed, floor[res.center] + res.hops
+    )
+    # The winning assignment must weakly beat self-assignment:
+    # start[center] + hops <= start[v] + 1 would not be sound (fractions),
+    # but the integer-round comparison is: round_claimed <= floor(start_v)
+    # is false only when v was claimed after its own wake-up — impossible.
+    assert np.all(res.round_claimed <= floor)
+
+
+@COMMON
+@given(
+    random_graphs(min_vertices=2, max_vertices=14),
+    st.integers(0, 1_000_000),
+)
+def test_shifted_dijkstra_optimality(graph, seed):
+    """No center can offer any vertex a better (round, key) pair than the
+    one it was assigned — brute-force check of the argmin semantics."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    start_round = rng.integers(0, 6, size=n)
+    key = rng.random(n)
+    res = shifted_integer_dijkstra(graph, start_round, key)
+    # All-pairs hop distances by BFS per vertex (small n).
+    from repro.bfs.sequential import multi_source_bfs
+
+    for v in range(n):
+        assigned = (
+            int(res.round_claimed[v]),
+            float(key[res.center[v]]),
+            int(res.center[v]),
+        )
+        for c in range(n):
+            d = multi_source_bfs(graph, np.asarray([c])).dist[v]
+            if d < 0:
+                continue
+            offer = (int(start_round[c] + d), float(key[c]), c)
+            assert assigned <= offer

@@ -1,0 +1,225 @@
+"""Unit tests for the randomness substrate (seeding, exponential, order
+statistics, permutations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.rng.exponential import (
+    exponential_cdf,
+    exponential_pdf,
+    exponential_tail,
+    sample_exponential,
+    sample_exponential_inverse_cdf,
+    validate_beta,
+)
+from repro.rng.order_stats import (
+    expected_maximum,
+    expected_order_statistic,
+    harmonic_number,
+    high_probability_shift_bound,
+    maximum_tail_bound,
+    sample_order_statistics_via_spacings,
+    sample_spacings,
+    spacing_rates,
+)
+from repro.rng.permutation import (
+    is_permutation,
+    permutation_keys,
+    random_permutation,
+    ranks_from_keys,
+)
+from repro.rng.seeding import make_generator, spawn_generators
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        a = make_generator(7).random(5)
+        b = make_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(3)
+        assert make_generator(rng) is rng
+
+    def test_none_gives_fresh_entropy(self):
+        a = make_generator(None).random(4)
+        b = make_generator(None).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_independence_and_reproducibility(self):
+        g1 = spawn_generators(11, 3)
+        g2 = spawn_generators(11, 3)
+        for a, b in zip(g1, g2):
+            np.testing.assert_array_equal(a.random(4), b.random(4))
+        draws = [g.random(8) for g in spawn_generators(11, 3)]
+        assert not np.array_equal(draws[0], draws[1])
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(5), 2)
+        assert len(gens) == 2
+
+
+class TestExponential:
+    def test_validate_beta_bounds(self):
+        assert validate_beta(0.5) == 0.5
+        with pytest.raises(ParameterError):
+            validate_beta(0.0)
+        with pytest.raises(ParameterError):
+            validate_beta(1.5)
+        assert validate_beta(1.5, upper=np.inf) == 1.5
+
+    def test_mean_matches_one_over_beta(self):
+        beta = 0.25
+        samples = sample_exponential(beta, 200_000, seed=1)
+        assert samples.mean() == pytest.approx(1 / beta, rel=0.02)
+        assert samples.min() >= 0
+
+    def test_inverse_cdf_sampler_distribution(self):
+        beta = 0.5
+        a = sample_exponential_inverse_cdf(beta, 100_000, seed=2)
+        assert a.mean() == pytest.approx(1 / beta, rel=0.03)
+        assert a.std() == pytest.approx(1 / beta, rel=0.05)
+
+    def test_samplers_match_analytic_quantiles(self):
+        # Both samplers must track the analytic quantile −ln(1−q)/β.
+        beta = 0.1
+        qs = np.linspace(0.1, 0.9, 9)
+        analytic = -np.log1p(-qs) / beta
+        for sampler, seed in (
+            (sample_exponential, 3),
+            (sample_exponential_inverse_cdf, 4),
+        ):
+            sample = sampler(beta, 100_000, seed=seed)
+            np.testing.assert_allclose(
+                np.quantile(sample, qs), analytic, rtol=0.05
+            )
+
+    def test_cdf_pdf_tail_algebra(self):
+        x = np.asarray([0.0, 0.5, 2.0])
+        beta = 0.7
+        np.testing.assert_allclose(
+            exponential_cdf(x, beta) + exponential_tail(x, beta), 1.0
+        )
+        assert exponential_cdf(-1.0, beta) == 0.0
+        assert exponential_pdf(-1.0, beta) == 0.0
+        assert exponential_tail(-1.0, beta) == 1.0
+        assert exponential_pdf(0.0, beta) == pytest.approx(beta)
+
+    def test_memorylessness_empirical(self):
+        # Pr[X > s + t | X > s] == Pr[X > t]
+        beta, s, t = 0.3, 2.0, 1.5
+        x = sample_exponential(beta, 300_000, seed=5)
+        cond = (x[x > s] - s > t).mean()
+        assert cond == pytest.approx(float(exponential_tail(t, beta)), abs=0.01)
+
+
+class TestOrderStatistics:
+    def test_harmonic_number_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_expected_maximum_formula(self):
+        assert expected_maximum(4, 2.0) == pytest.approx(
+            harmonic_number(4) / 2.0
+        )
+
+    def test_expected_maximum_empirical(self):
+        n, beta, trials = 50, 0.4, 4000
+        rng = np.random.default_rng(6)
+        maxima = rng.exponential(1 / beta, size=(trials, n)).max(axis=1)
+        assert maxima.mean() == pytest.approx(
+            expected_maximum(n, beta), rel=0.03
+        )
+
+    def test_order_statistic_endpoints(self):
+        n, beta = 10, 1.0
+        assert expected_order_statistic(n, n, beta) == pytest.approx(
+            expected_maximum(n, beta)
+        )
+        # smallest of n exponentials has mean 1/(n·β)
+        assert expected_order_statistic(n, 1, beta) == pytest.approx(
+            1.0 / (n * beta)
+        )
+
+    def test_order_statistic_domain(self):
+        with pytest.raises(ParameterError):
+            expected_order_statistic(5, 0, 1.0)
+        with pytest.raises(ParameterError):
+            expected_order_statistic(5, 6, 1.0)
+
+    def test_spacing_rates(self):
+        np.testing.assert_allclose(
+            spacing_rates(3, 2.0), [6.0, 4.0, 2.0]
+        )
+
+    def test_spacings_sum_to_sorted_sample(self):
+        # Fact 3.1: cumulated spacings are distributed like sorted samples.
+        n, beta = 20, 0.5
+        via_spacings = np.stack(
+            [
+                sample_order_statistics_via_spacings(n, beta, seed=s)
+                for s in range(600)
+            ]
+        )
+        direct = np.sort(
+            np.random.default_rng(1).exponential(1 / beta, size=(600, n)),
+            axis=1,
+        )
+        # Compare per-order-statistic means (both estimate H_n differences).
+        np.testing.assert_allclose(
+            via_spacings.mean(axis=0), direct.mean(axis=0), rtol=0.15
+        )
+
+    def test_spacings_monotone(self):
+        s = sample_order_statistics_via_spacings(30, 0.2, seed=7)
+        assert np.all(np.diff(s) >= 0)
+        assert sample_spacings(5, 1.0, seed=8).min() >= 0
+
+    def test_tail_bounds(self):
+        n, beta, d = 100, 0.5, 2.0
+        thr = high_probability_shift_bound(n, beta, d)
+        assert thr == pytest.approx(3.0 * np.log(100) / 0.5)
+        assert maximum_tail_bound(n, beta, thr) <= 100 ** (-d) * 100 + 1e-12
+        assert maximum_tail_bound(n, beta, 0.0) == 1.0
+
+    def test_bound_edge_cases(self):
+        assert high_probability_shift_bound(1, 0.5, 1.0) == 0.0
+        with pytest.raises(ParameterError):
+            high_probability_shift_bound(10, -1.0, 1.0)
+        with pytest.raises(ParameterError):
+            maximum_tail_bound(10, 0.0, 1.0)
+
+
+class TestPermutation:
+    def test_random_permutation_valid(self):
+        perm = random_permutation(40, seed=1)
+        assert is_permutation(perm)
+
+    def test_permutation_keys_distinct_unit_interval(self):
+        keys = permutation_keys(25, seed=2)
+        assert np.unique(keys).size == 25
+        assert keys.min() >= 0 and keys.max() < 1
+
+    def test_permutation_keys_empty(self):
+        assert permutation_keys(0).shape == (0,)
+
+    def test_ranks_from_keys(self):
+        keys = np.asarray([0.5, 0.1, 0.9])
+        np.testing.assert_array_equal(ranks_from_keys(keys), [1, 0, 2])
+
+    def test_is_permutation_rejects(self):
+        assert not is_permutation(np.asarray([0, 0, 1]))
+        assert not is_permutation(np.asarray([1, 2, 3]))
+        assert is_permutation(np.asarray([], dtype=np.int64))
+
+    def test_negative_n(self):
+        with pytest.raises(ParameterError):
+            random_permutation(-1)

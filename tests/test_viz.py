@@ -1,0 +1,105 @@
+"""Tests for palette and grid rendering (Figure 1 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.core.ldd_bfs import partition_bfs
+from repro.graphs.generators import grid_2d
+from repro.viz.grid_render import (
+    labels_to_image,
+    render_grid_ascii,
+    render_grid_ppm,
+)
+from repro.viz.palette import distinct_colors, hsv_to_rgb
+
+
+class TestPalette:
+    def test_shapes_and_determinism(self):
+        a = distinct_colors(10)
+        b = distinct_colors(10)
+        assert a.shape == (10, 3) and a.dtype == np.uint8
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinctness(self):
+        colors = distinct_colors(30)
+        uniq = np.unique(colors, axis=0)
+        assert uniq.shape[0] == 30
+
+    def test_adjacent_colors_far_apart(self):
+        colors = distinct_colors(12).astype(np.int64)
+        gaps = np.abs(colors[1:] - colors[:-1]).sum(axis=1)
+        assert gaps.min() > 40  # L1 distance in RGB space
+
+    def test_zero_and_negative(self):
+        assert distinct_colors(0).shape == (0, 3)
+        with pytest.raises(ParameterError):
+            distinct_colors(-1)
+
+    def test_hsv_primaries(self):
+        rgb = hsv_to_rgb(np.asarray([0.0, 1 / 3, 2 / 3]), 1.0, 1.0)
+        np.testing.assert_array_equal(rgb[0], [255, 0, 0])
+        np.testing.assert_array_equal(rgb[1], [0, 255, 0])
+        np.testing.assert_array_equal(rgb[2], [0, 0, 255])
+
+
+class TestLabelsToImage:
+    def test_shape(self):
+        labels = np.zeros(12, dtype=np.int64)
+        img = labels_to_image(labels, 3, 4)
+        assert img.shape == (3, 4, 3)
+
+    def test_same_label_same_color(self):
+        labels = np.asarray([0, 0, 1, 1])
+        img = labels_to_image(labels, 2, 2)
+        np.testing.assert_array_equal(img[0, 0], img[0, 1])
+        assert not np.array_equal(img[0, 0], img[1, 0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            labels_to_image(np.zeros(5, dtype=np.int64), 2, 2)
+
+
+class TestPPM:
+    def test_file_format(self, tmp_path):
+        g = grid_2d(10, 10)
+        d, _ = partition_bfs(g, 0.3, seed=0)
+        out = render_grid_ppm(d.labels, 10, 10, tmp_path / "x.ppm")
+        data = out.read_bytes()
+        assert data.startswith(b"P6\n10 10\n255\n")
+        header_len = len(b"P6\n10 10\n255\n")
+        assert len(data) == header_len + 10 * 10 * 3
+
+    def test_scaling(self, tmp_path):
+        labels = np.asarray([0, 1, 2, 3])
+        out = render_grid_ppm(labels, 2, 2, tmp_path / "s.ppm", scale=4)
+        data = out.read_bytes()
+        assert b"8 8" in data.split(b"\n", 2)[1]
+
+    def test_bad_scale(self, tmp_path):
+        with pytest.raises(ParameterError):
+            render_grid_ppm(np.zeros(4, dtype=np.int64), 2, 2, tmp_path / "b.ppm", scale=0)
+
+
+class TestAscii:
+    def test_dimensions(self):
+        labels = np.arange(16) % 3
+        art = render_grid_ascii(labels, 4, 4)
+        lines = art.split("\n")
+        assert len(lines) == 4
+        assert all(len(line) == 4 for line in lines)
+
+    def test_downsampling(self):
+        labels = np.zeros(200 * 200, dtype=np.int64)
+        art = render_grid_ascii(labels, 200, 200, max_size=50)
+        lines = art.split("\n")
+        assert len(lines) <= 100
+
+    def test_same_cluster_same_glyph(self):
+        labels = np.asarray([0, 0, 1, 1])
+        art = render_grid_ascii(labels, 2, 2)
+        rows = art.split("\n")
+        assert rows[0][0] == rows[0][1]
+        assert rows[0][0] != rows[1][0]
