@@ -13,11 +13,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.ldd_bfs import partition_bfs
 from repro.core.ldd_uniform import partition_uniform
 from repro.graphs.generators import grid_2d, random_regular
 
-from common import Table, mean_and_sem
+from common import Table, mean_and_sem, run_batch
 
 
 def test_exponential_beats_uniform_shifts():
@@ -28,23 +27,19 @@ def test_exponential_beats_uniform_shifts():
         ["beta", "exp_cut", "uni_cut", "exp_rad", "uni_rad"],
     )
     for beta in (0.05, 0.1, 0.2):
-        e_cut, u_cut, e_rad, u_rad = [], [], [], []
-        for seed in range(trials):
-            d_e, _ = partition_bfs(graph, beta, seed=seed)
-            d_u, _ = partition_uniform(graph, beta, seed=seed)
-            e_cut.append(d_e.cut_fraction())
-            u_cut.append(d_u.cut_fraction())
-            e_rad.append(d_e.max_radius())
-            u_rad.append(d_u.max_radius())
+        exp_batch = run_batch(graph, beta, method="bfs", seeds=trials)
+        uni_batch = run_batch(graph, beta, method="uniform", seeds=trials)
+        e_cut = exp_batch.values("cut_fraction")
+        u_cut = uni_batch.values("cut_fraction")
         table.add(
             beta,
-            float(np.mean(e_cut)),
-            float(np.mean(u_cut)),
-            float(np.mean(e_rad)),
-            float(np.mean(u_rad)),
+            float(e_cut.mean()),
+            float(u_cut.mean()),
+            float(exp_batch.values("max_radius").mean()),
+            float(uni_batch.values("max_radius").mean()),
         )
         # Uniform shifts pay more cut at comparable-or-smaller diameter.
-        assert np.mean(u_cut) > np.mean(e_cut)
+        assert u_cut.mean() > e_cut.mean()
     table.show()
 
 
@@ -53,14 +48,14 @@ def test_fractional_and_permutation_statistically_close():
     graph = random_regular(800, 4, seed=0)
     beta = 0.15
     trials = 12
-    frac_cuts, perm_cuts = [], []
-    for seed in range(trials):
-        d_f, _ = partition_bfs(graph, beta, seed=seed, tie_break="fractional")
-        d_p, _ = partition_bfs(graph, beta, seed=seed, tie_break="permutation")
-        frac_cuts.append(d_f.cut_fraction())
-        perm_cuts.append(d_p.cut_fraction())
-    f_mean, f_sem = mean_and_sem(frac_cuts)
-    p_mean, p_sem = mean_and_sem(perm_cuts)
+    frac_cuts = run_batch(
+        graph, beta, method="bfs", seeds=trials, tie_break="fractional"
+    ).values("cut_fraction")
+    perm_cuts = run_batch(
+        graph, beta, method="permutation", seeds=trials
+    ).values("cut_fraction")
+    f_mean, f_sem = mean_and_sem(list(frac_cuts))
+    p_mean, p_sem = mean_and_sem(list(perm_cuts))
     table = Table(
         "ABL-tiebreak: fractional vs permutation (4-regular n=800, beta=0.15)",
         ["mode", "cut_frac", "sem"],
@@ -83,32 +78,24 @@ def test_quantile_variant_matches_iid_statistics():
     radius within sampling noise, while consuming only one permutation of
     randomness.
     """
-    from repro.core.partition import partition
-
     graph = grid_2d(40, 40)
     table = Table(
         "ABL-quantile: iid exponential vs quantile-by-rank shifts (grid 40x40)",
         ["beta", "iid_cut", "qtl_cut", "iid_rad", "qtl_rad"],
     )
     for beta in (0.05, 0.1, 0.2):
-        iid_cut, qtl_cut, iid_rad, qtl_rad = [], [], [], []
-        for seed in range(8):
-            d_i = partition(graph, beta, method="bfs", seed=seed).decomposition
-            d_q = partition(
-                graph, beta, method="quantile", seed=seed
-            ).decomposition
-            iid_cut.append(d_i.cut_fraction())
-            qtl_cut.append(d_q.cut_fraction())
-            iid_rad.append(d_i.max_radius())
-            qtl_rad.append(d_q.max_radius())
+        iid = run_batch(graph, beta, method="bfs", seeds=8)
+        qtl = run_batch(graph, beta, method="quantile", seeds=8)
+        iid_cut = iid.values("cut_fraction")
+        qtl_cut = qtl.values("cut_fraction")
         table.add(
             beta,
-            float(np.mean(iid_cut)),
-            float(np.mean(qtl_cut)),
-            float(np.mean(iid_rad)),
-            float(np.mean(qtl_rad)),
+            float(iid_cut.mean()),
+            float(qtl_cut.mean()),
+            float(iid.values("max_radius").mean()),
+            float(qtl.values("max_radius").mean()),
         )
-        assert abs(np.mean(iid_cut) - np.mean(qtl_cut)) < 0.03
+        assert abs(iid_cut.mean() - qtl_cut.mean()) < 0.03
     table.show()
 
 

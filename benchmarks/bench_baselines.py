@@ -16,17 +16,18 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.engine import decompose
 from repro.core.ldd_bfs import partition_bfs
-from repro.core.ldd_blelloch import partition_blelloch
 from repro.core.ldd_sequential import partition_sequential
 from repro.graphs.generators import grid_2d, path_graph
 
-from common import Table
+from common import Table, run_batch
 
+#: benchmark label -> registered engine method name
 METHODS = {
-    "mpx": partition_bfs,
-    "sequential": partition_sequential,
-    "blelloch": partition_blelloch,
+    "mpx": "bfs",
+    "sequential": "sequential",
+    "blelloch": "blelloch",
 }
 
 
@@ -38,18 +39,13 @@ def test_quality_comparison_on_grid():
         "BASE-quality: cut fraction & radius by method (grid 40x40, beta=0.1)",
         ["method", "cut_frac", "max_radius", "pieces"],
     )
-    for name, fn in METHODS.items():
-        cuts, radii, pieces = [], [], []
-        for seed in range(trials):
-            d, _ = fn(graph, beta, seed=seed)
-            cuts.append(d.cut_fraction())
-            radii.append(d.max_radius())
-            pieces.append(d.num_pieces)
+    for name, method in METHODS.items():
+        agg = run_batch(graph, beta, method=method, seeds=trials).aggregate()
         table.add(
             name,
-            float(np.mean(cuts)),
-            float(np.mean(radii)),
-            float(np.mean(pieces)),
+            agg["cut_fraction_mean"],
+            agg["max_radius_mean"],
+            agg["num_pieces_mean"],
         )
     table.show()
 
@@ -91,8 +87,8 @@ def test_work_overhead_of_iterative_baseline():
         ["method", "work", "work/2m"],
     )
     works = {}
-    for name, fn in METHODS.items():
-        _, trace = fn(graph, beta, seed=2)
+    for name, method in METHODS.items():
+        trace = decompose(graph, beta, method=method, seed=2).trace
         work = trace.extra.get("bfs_work", trace.work)
         works[name] = work
         table.add(name, work, work / graph.num_arcs)
@@ -105,4 +101,4 @@ def test_work_overhead_of_iterative_baseline():
 @pytest.mark.parametrize("method", sorted(METHODS))
 def test_method_timing(benchmark, method):
     graph = grid_2d(30, 30)
-    benchmark(lambda: METHODS[method](graph, 0.1, seed=0))
+    benchmark(lambda: decompose(graph, 0.1, method=METHODS[method], seed=0))

@@ -22,7 +22,7 @@ from repro.graphs.generators import (
     torus_2d,
 )
 
-from common import Table, mean_and_sem
+from common import Table, mean_and_sem, run_batch
 
 FAMILIES = {
     "grid": lambda: grid_2d(40, 40),
@@ -44,11 +44,10 @@ def test_cut_fraction_bounded_per_family(family):
         ["beta", "cut_frac", "sem", "cut_frac/beta"],
     )
     for beta in (0.02, 0.05, 0.1, 0.2):
-        fracs = [
-            partition_bfs(graph, beta, seed=s)[0].cut_fraction()
-            for s in range(trials)
-        ]
-        mean, sem = mean_and_sem(fracs)
+        fracs = run_batch(graph, beta, method="bfs", seeds=trials).values(
+            "cut_fraction"
+        )
+        mean, sem = mean_and_sem(list(fracs))
         table.add(beta, mean, sem, mean / beta)
         # Corollary 4.5's constant is 1; add sampling slack.
         assert mean <= beta * 1.25 + 0.01, (family, beta, mean)
@@ -61,11 +60,8 @@ def test_cut_scales_linearly_in_beta():
     betas = np.asarray([0.025, 0.05, 0.1, 0.2])
     means = []
     for beta in betas:
-        fracs = [
-            partition_bfs(graph, float(beta), seed=s)[0].cut_fraction()
-            for s in range(8)
-        ]
-        means.append(float(np.mean(fracs)))
+        batch = run_batch(graph, float(beta), method="bfs", seeds=8)
+        means.append(float(batch.values("cut_fraction").mean()))
     ratios = np.asarray(means) / betas
     table = Table(
         "C45-linear: cut fraction / beta flatness (grid 50x50)",

@@ -22,7 +22,7 @@ from repro.graphs.generators import (
     torus_2d,
 )
 
-from common import Table
+from common import Table, run_batch
 
 FAMILIES = {
     "grid": lambda: grid_2d(40, 40),
@@ -42,13 +42,15 @@ def test_radius_within_whp_bound(family):
         ["beta", "max_radius", "delta_max", "whp_bound", "radius*beta/ln_n"],
     )
     for beta in (0.05, 0.1, 0.2):
-        max_radius = 0
-        max_delta = 0.0
-        for seed in range(trials):
-            d, t = partition_bfs(graph, beta, seed=seed)
-            assert d.max_radius() <= t.delta_max  # per-run certificate
-            max_radius = max(max_radius, d.max_radius())
-            max_delta = max(max_delta, t.delta_max)
+        batch = run_batch(graph, beta, method="bfs", seeds=trials)
+        for run in batch.runs:
+            # per-run certificate
+            assert (
+                run.result.decomposition.max_radius()
+                <= run.result.trace.delta_max
+            )
+        max_radius = int(batch.values("max_radius").max())
+        max_delta = max(run.result.trace.delta_max for run in batch.runs)
         bound = whp_radius_bound(n, beta, d=1.0)
         table.add(
             beta,

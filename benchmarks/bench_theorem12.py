@@ -19,14 +19,15 @@ from repro.core.ldd_bfs import partition_bfs
 from repro.core.theory import theorem12_depth_bound
 from repro.graphs.generators import grid_2d, random_regular
 
-from common import Table, bench_scale, mean_and_sem
+from common import Table, bench_scale, mean_and_sem, run_batch
 
 
 def _work_ratio(graph, beta: float, seeds: range) -> tuple[float, float]:
-    ratios = []
-    for seed in seeds:
-        _, trace = partition_bfs(graph, beta, seed=seed)
-        ratios.append(trace.extra["bfs_work"] / graph.num_arcs)
+    batch = run_batch(graph, beta, method="bfs", seeds=seeds)
+    ratios = [
+        run.result.trace.extra["bfs_work"] / graph.num_arcs
+        for run in batch.runs
+    ]
     return mean_and_sem(ratios)
 
 
@@ -79,14 +80,11 @@ def test_depth_tracks_log_squared_over_beta():
     normalised = []
     for side in [20, 40, 80, 160]:
         graph = grid_2d(side, side)
-        rounds_list, depth_list = [], []
-        for seed in range(3):
-            _, trace = partition_bfs(graph, beta, seed=seed)
-            rounds_list.append(trace.rounds)
-            depth_list.append(trace.depth)
+        batch = run_batch(graph, beta, method="bfs", seeds=3)
         n = graph.num_vertices
         scale = np.log(n) / beta
-        mean_rounds = float(np.mean(rounds_list))
+        mean_rounds = float(batch.values("rounds").mean())
+        depth_list = batch.values("depth")
         normalised.append(mean_rounds / scale)
         table.add(
             side,
@@ -112,11 +110,9 @@ def test_depth_scales_inversely_with_beta():
     )
     products = []
     for beta in [0.4, 0.2, 0.1, 0.05]:
-        rounds = float(
-            np.mean(
-                [partition_bfs(graph, beta, seed=s)[1].rounds for s in range(3)]
-            )
-        )
+        rounds = run_batch(graph, beta, method="bfs", seeds=3).aggregate()[
+            "rounds_mean"
+        ]
         products.append(rounds * beta)
         table.add(beta, rounds, rounds * beta)
     table.show()

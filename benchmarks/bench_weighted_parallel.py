@@ -24,7 +24,7 @@ from repro.core.weighted import partition_weighted
 from repro.graphs.generators import erdos_renyi, grid_2d, hypercube
 from repro.graphs.weighted import uniform_weights, weighted_from_edges
 
-from common import Table
+from common import Table, run_batch
 
 
 class TestWeightedExtension:
@@ -38,21 +38,23 @@ class TestWeightedExtension:
             ["beta", "cut_weight_frac", "max_radius", "delta_max"],
         )
         for beta in (0.05, 0.1, 0.2):
-            fracs, radii, dmax = [], [], []
-            for seed in range(5):
-                d, t = partition_weighted(graph, beta, seed=seed)
-                fracs.append(d.cut_weight_fraction())
-                radii.append(d.max_radius())
-                dmax.append(t.delta_max)
-                assert d.max_radius() <= t.delta_max + 1e-9
+            # Through the engine: weighted graphs dispatch to 'dijkstra' and
+            # the summary's cut_fraction is the weighted measure.
+            batch = run_batch(graph, beta, seeds=5)
+            for run in batch.runs:
+                assert (
+                    run.result.decomposition.max_radius()
+                    <= run.result.trace.delta_max + 1e-9
+                )
+            fracs = batch.values("cut_fraction")
             table.add(
                 beta,
-                float(np.mean(fracs)),
-                float(np.mean(radii)),
-                float(np.mean(dmax)),
+                float(fracs.mean()),
+                float(batch.values("max_radius").mean()),
+                float(np.mean([r.result.trace.delta_max for r in batch.runs])),
             )
             # Lemma 4.4 with c = w, averaged: cut weight ≤ ~β·W.
-            assert np.mean(fracs) <= 2.6 * beta + 0.01
+            assert fracs.mean() <= 2.6 * beta + 0.01
         table.show()
 
     def test_weighted_agrees_with_unweighted_on_unit_weights(self):

@@ -4,14 +4,29 @@
 Quick start::
 
     from repro.graphs import grid_2d
-    from repro.core import partition
+    from repro.core import decompose
 
-    result = partition(grid_2d(100, 100), beta=0.05, seed=0)
+    result = decompose(grid_2d(100, 100), beta=0.05, seed=0)
     print(result.summary())
+
+``decompose`` is the unified entry point: it dispatches on the graph type
+(unweighted ``CSRGraph`` vs ``WeightedCSRGraph``), selects any registered
+``method`` (``"auto"`` picks the paper's algorithm for the graph kind), and
+validates per-method ``**options`` against the method registry.  Batched
+multi-seed or multi-graph runs go through its companion::
+
+    from repro.core import decompose_many
+
+    batch = decompose_many(grid_2d(100, 100), beta=0.05, seeds=8)
+    print(batch.aggregate())          # mean/std of cut fraction, radius, ...
+
+The older ``partition(graph, beta)`` facade still works but is deprecated —
+see :mod:`repro.core.partition` and CHANGES.md.
 
 Package layout (see DESIGN.md for the full inventory):
 
-- :mod:`repro.core` — the partition algorithm, baselines, verification;
+- :mod:`repro.core` — the decomposition engine, method registry, the
+  paper's algorithm and baselines, verification;
 - :mod:`repro.graphs`, :mod:`repro.rng`, :mod:`repro.bfs`, :mod:`repro.pram`
   — the substrates it runs on;
 - :mod:`repro.lowstretch`, :mod:`repro.spanners`, :mod:`repro.embeddings`,
@@ -20,6 +35,19 @@ Package layout (see DESIGN.md for the full inventory):
 """
 
 from repro._version import __version__
-from repro.core.partition import PartitionResult, partition
+from repro.core.engine import (
+    BatchResult,
+    PartitionResult,
+    decompose,
+    decompose_many,
+)
+from repro.core.partition import partition
 
-__all__ = ["__version__", "partition", "PartitionResult"]
+__all__ = [
+    "__version__",
+    "decompose",
+    "decompose_many",
+    "partition",
+    "PartitionResult",
+    "BatchResult",
+]

@@ -19,7 +19,7 @@ gathers run, never the claim-resolution order.
 
 This is a demonstration of correctness under real parallel execution, not a
 speed play: per-round IPC costs dominate for the problem sizes Python
-handles, exactly as DESIGN.md's substitution table records.
+handles, exactly as DESIGN.md §5's substitution table records.
 """
 
 from __future__ import annotations

@@ -3,15 +3,20 @@
 Subcommands
 -----------
 ``decompose``
-    Partition a generated or loaded graph and print the summary (optionally
-    verify and dump the assignment).
+    Decompose a generated graph (optionally lifted to weighted edges via
+    ``--weights``) through the unified engine and print the summary.
+    ``--option key=value`` forwards validated per-method options;
+    ``--reps N`` fans N seeds out through ``decompose_many`` and prints the
+    per-run table plus the aggregate.
 ``render``
     Reproduce a Figure 1 panel: decompose a grid and write a PPM image.
 ``sweep``
     Run a β-sweep on one graph and print the cut-fraction/diameter table —
-    the quantitative content of Figure 1.
+    the quantitative content of Figure 1.  ``--reps`` averages each row
+    over several seeds.
 ``methods``
-    List available partition methods and graph generators.
+    List registered decomposition methods (with their options), graph
+    generators and weight schemes.
 """
 
 from __future__ import annotations
@@ -23,6 +28,48 @@ import sys
 from repro._version import __version__
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the subcommands that run the engine."""
+    parser.add_argument(
+        "--method",
+        default="auto",
+        help="registered method name ('auto' picks bfs / dijkstra by graph kind)",
+    )
+    parser.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="per-method option, validated against the method spec "
+        "(repeatable), e.g. --option tie_break=permutation",
+    )
+    parser.add_argument(
+        "--weights",
+        default=None,
+        metavar="SPEC",
+        help="lift the graph to weighted edges: unit[:w], uniform:lo,hi, "
+        "exp:mean",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        help="repetitions over consecutive seeds via the batch engine",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for --reps > 1 (default: CPU count)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("auto", "process", "serial"),
+        default="auto",
+        help="batch executor for --reps > 1",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,8 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="generator spec, e.g. grid:100x100, er:500,0.02, path:1000",
     )
     p_dec.add_argument("--beta", type=float, required=True)
-    p_dec.add_argument("--method", default="bfs")
     p_dec.add_argument("--seed", type=int, default=0)
+    _add_engine_args(p_dec)
     p_dec.add_argument(
         "--validate", action="store_true", help="run invariant checks"
     )
@@ -74,37 +121,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated β values (default: the Figure 1 set)",
     )
     p_swp.add_argument("--seed", type=int, default=0)
-    p_swp.add_argument("--method", default="bfs")
+    _add_engine_args(p_swp)
 
-    sub.add_parser("methods", help="list methods and generators")
+    sub.add_parser("methods", help="list methods, generators, weight schemes")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    if args.command == "decompose":
-        return _cmd_decompose(args)
-    if args.command == "render":
-        return _cmd_render(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "methods":
-        return _cmd_methods()
+    try:
+        if args.command == "decompose":
+            return _cmd_decompose(args)
+        if args.command == "render":
+            return _cmd_render(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "methods":
+            return _cmd_methods()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 2  # pragma: no cover - argparse enforces the choices
 
 
-def _cmd_decompose(args: argparse.Namespace) -> int:
-    from repro.core.partition import partition
+def _build_graph(args: argparse.Namespace):
+    """Generate the graph spec and optionally lift it to weighted edges."""
     from repro.graphs.generators import by_name
+    from repro.graphs.weighted import weights_by_name
 
     graph = by_name(args.graph, seed=args.seed)
-    result = partition(
+    if args.weights:
+        graph = weights_by_name(graph, args.weights, seed=args.seed)
+    return graph
+
+
+def _parse_options(graph, method: str, pairs: list[str]) -> dict[str, object]:
+    """Parse repeated ``--option key=value`` against the method's spec."""
+    from repro.core.engine import DEFAULT_METHODS, graph_kind
+    from repro.core.registry import get_method
+    from repro.errors import ParameterError
+
+    name = DEFAULT_METHODS[graph_kind(graph)] if method == "auto" else method
+    spec = get_method(name)
+    options: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ParameterError(
+                f"--option expects KEY=VALUE, got {pair!r}"
+            )
+        options[key.strip()] = spec.option(key.strip()).parse(value)
+    return options
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.core.engine import decompose, decompose_many
+
+    from repro.errors import ParameterError
+
+    if args.reps < 1:
+        raise ParameterError(f"--reps must be >= 1, got {args.reps}")
+    graph = _build_graph(args)
+    options = _parse_options(graph, args.method, args.option)
+    if args.reps > 1:
+        batch = decompose_many(
+            graph,
+            args.beta,
+            method=args.method,
+            seeds=range(args.seed, args.seed + args.reps),
+            validate=args.validate,
+            executor=args.executor,
+            max_workers=args.workers,
+            **options,
+        )
+        aggregate = batch.aggregate()
+        aggregate["n"] = graph.num_vertices
+        aggregate["m"] = graph.num_edges
+        if args.validate:
+            aggregate["invariants_ok"] = all(
+                run.result.report.all_invariants_hold() for run in batch.runs
+            )
+        if args.json:
+            print(
+                json.dumps(
+                    {"runs": batch.summaries(), "aggregate": aggregate}
+                )
+            )
+        else:
+            for key, value in aggregate.items():
+                print(f"{key:>22}: {value}")
+        return 0
+
+    result = decompose(
         graph,
         args.beta,
         method=args.method,
         seed=args.seed,
         validate=args.validate,
+        **options,
     )
     summary = result.summary()
     summary["n"] = graph.num_vertices
@@ -120,12 +237,12 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
-    from repro.core.partition import partition
+    from repro.core.engine import decompose
     from repro.graphs.generators import grid_2d
     from repro.viz.grid_render import render_grid_ascii, render_grid_ppm
 
     graph = grid_2d(args.rows, args.cols)
-    result = partition(graph, args.beta, seed=args.seed)
+    result = decompose(graph, args.beta, seed=args.seed)
     labels = result.decomposition.labels
     path = render_grid_ppm(
         labels, args.rows, args.cols, args.out, scale=args.scale
@@ -140,37 +257,65 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.core.partition import partition
-    from repro.graphs.generators import by_name
+    from repro.core.engine import decompose_many
 
-    graph = by_name(args.graph, seed=args.seed)
+    graph = _build_graph(args)
+    options = _parse_options(graph, args.method, args.option)
     betas = [float(tok) for tok in args.betas.split(",") if tok.strip()]
+    # One decompose_many per β row: with "auto" a fresh process pool per row
+    # would cost more than the row's runs, so the sweep defaults to serial
+    # (pass --executor process to force pooling).
+    executor = "serial" if args.executor == "auto" else args.executor
     header = (
         f"{'beta':>8} {'pieces':>8} {'max_rad':>8} {'cut_frac':>10} "
         f"{'cut/beta':>9} {'rounds':>7}"
     )
-    print(f"graph {args.graph}: n={graph.num_vertices} m={graph.num_edges}")
+    reps = "" if args.reps == 1 else f" reps={args.reps} (per-row means)"
+    print(
+        f"graph {args.graph}: n={graph.num_vertices} m={graph.num_edges}{reps}"
+    )
     print(header)
     for beta in betas:
-        result = partition(graph, beta, method=args.method, seed=args.seed)
-        d = result.decomposition
-        cf = d.cut_fraction()
+        batch = decompose_many(
+            graph,
+            beta,
+            method=args.method,
+            seeds=range(args.seed, args.seed + args.reps),
+            executor=executor,
+            max_workers=args.workers,
+            **options,
+        )
+        agg = batch.aggregate()
+        cf = agg["cut_fraction_mean"]
         print(
-            f"{beta:>8.4f} {d.num_pieces:>8d} {d.max_radius():>8d} "
-            f"{cf:>10.4f} {cf / beta:>9.3f} {result.trace.rounds:>7d}"
+            f"{beta:>8.4f} {agg['num_pieces_mean']:>8.1f} "
+            f"{agg['max_radius_mean']:>8.1f} {cf:>10.4f} "
+            f"{cf / beta:>9.3f} {agg['rounds_mean']:>7.1f}"
         )
     return 0
 
 
 def _cmd_methods() -> int:
-    from repro.core.partition import PARTITION_METHODS
+    from repro.core.registry import iter_methods
     from repro.graphs.generators import GENERATORS
+    from repro.graphs.weighted import WEIGHT_SCHEMES
 
     print("partition methods:")
-    for name, desc in PARTITION_METHODS.items():
-        print(f"  {name:>12}: {desc}")
+    for spec in iter_methods():
+        print(f"  {spec.name:>12} [{spec.kind}]: {spec.description}")
+        for opt in spec.options:
+            choices = (
+                f" (choices: {', '.join(opt.choices)})" if opt.choices else ""
+            )
+            print(
+                f"  {'':>12}  --option {opt.name}=<{opt.type}> "
+                f"default={opt.default}{choices}"
+            )
     print("graph generators:")
     print(" ", ", ".join(sorted(GENERATORS)))
+    print("weight schemes (--weights):")
+    for name, desc in sorted(WEIGHT_SCHEMES.items()):
+        print(f"  {name:>12}: {desc}")
     return 0
 
 

@@ -1,12 +1,28 @@
 """The paper's contribution: exponentially shifted graph decompositions."""
 
 from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.core.engine import (
+    BatchResult,
+    BatchRun,
+    PartitionResult,
+    decompose,
+    decompose_many,
+)
 from repro.core.ldd_bfs import partition_bfs, partition_bfs_with_shifts
 from repro.core.ldd_blelloch import partition_blelloch
 from repro.core.ldd_exact import partition_exact, partition_exact_with_shifts
 from repro.core.ldd_sequential import partition_sequential
 from repro.core.ldd_uniform import partition_uniform
-from repro.core.partition import PARTITION_METHODS, PartitionResult, partition
+from repro.core.partition import partition
+from repro.core.registry import (
+    PARTITION_METHODS,
+    MethodSpec,
+    OptionSpec,
+    get_method,
+    iter_methods,
+    method_names,
+    register_method,
+)
 from repro.core.shifts import ShiftAssignment, sample_shifts, shifts_from_values
 from repro.core.theory import (
     blockdecomp_iteration_bound,
@@ -31,6 +47,16 @@ __all__ = [
     "PartitionTrace",
     "PartitionResult",
     "PARTITION_METHODS",
+    "BatchResult",
+    "BatchRun",
+    "MethodSpec",
+    "OptionSpec",
+    "decompose",
+    "decompose_many",
+    "get_method",
+    "iter_methods",
+    "method_names",
+    "register_method",
     "partition",
     "partition_bfs",
     "partition_bfs_with_shifts",

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.bfs.delayed import delayed_multisource_bfs
 from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.core.registry import OptionSpec, register_method
 from repro.core.shifts import ShiftAssignment, sample_shifts
 from repro.errors import GraphError
 from repro.graphs.csr import CSRGraph
@@ -32,7 +33,24 @@ from repro.rng.seeding import SeedLike
 
 __all__ = ["partition_bfs", "partition_bfs_with_shifts"]
 
+_TIE_BREAKS = ("fractional", "permutation", "quantile")
 
+
+@register_method(
+    "bfs",
+    kind="unweighted",
+    description="Algorithm 1 - exponentially shifted BFS (the paper's algorithm)",
+    options=(
+        OptionSpec(
+            "tie_break",
+            "str",
+            "fractional",
+            "round tie resolution: shift fractions, an explicit random "
+            "permutation, or permutation-position quantile shifts",
+            choices=_TIE_BREAKS,
+        ),
+    ),
+)
 def partition_bfs(
     graph: CSRGraph,
     beta: float,
@@ -108,3 +126,21 @@ def partition_bfs_with_shifts(
         },
     )
     return decomposition, trace
+
+
+# Section 5 variants are Algorithm 1 with the tie-break pinned; they are
+# published as standalone method names so sweeps can select them uniformly.
+register_method(
+    "permutation",
+    kind="unweighted",
+    description="Section 5 variant - random-permutation tie-breaks",
+    pinned={"tie_break": "permutation"},
+    func=partition_bfs,
+)
+register_method(
+    "quantile",
+    kind="unweighted",
+    description="Section 5 variant - shifts from permutation positions",
+    pinned={"tie_break": "quantile"},
+    func=partition_bfs,
+)

@@ -11,7 +11,7 @@ vertex to a center.
 This module is an emulation faithful to that *shape* — batched center
 growth, uniform shifts, geometric batch growth — rather than a line-by-line
 port (the original interleaves the decomposition with its tree-embedding
-pipeline).  DESIGN.md records it as a substitution.  What the benchmarks
+pipeline).  DESIGN.md §5 records it as a substitution.  What the benchmarks
 compare is exactly what the paper argues about:
 
 - quality (cut fraction, piece radii) is comparable to Algorithm 1, but
@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.bfs.delayed import delayed_multisource_bfs
 from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.core.registry import OptionSpec, register_method
 from repro.errors import GraphError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 from repro.graphs.ops import induced_subgraph
@@ -36,6 +37,19 @@ from repro.rng.seeding import SeedLike, make_generator
 __all__ = ["partition_blelloch"]
 
 
+@register_method(
+    "blelloch",
+    kind="unweighted",
+    description="baseline - Blelloch et al. [9] iterative batched centers",
+    options=(
+        OptionSpec(
+            "shift_range_constant",
+            "float",
+            1.0,
+            "scale c of the uniform shift range R = c * ln(n) / beta",
+        ),
+    ),
+)
 def partition_blelloch(
     graph: CSRGraph,
     beta: float,

@@ -17,6 +17,7 @@ import time
 
 from repro.bfs.dijkstra import shifted_integer_dijkstra
 from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.core.registry import OptionSpec, register_method
 from repro.core.shifts import ShiftAssignment, sample_shifts
 from repro.errors import GraphError
 from repro.graphs.csr import CSRGraph
@@ -25,6 +26,20 @@ from repro.rng.seeding import SeedLike
 __all__ = ["partition_exact", "partition_exact_with_shifts"]
 
 
+@register_method(
+    "exact",
+    kind="unweighted",
+    description="Algorithm 2 - exact shifted shortest paths (Dijkstra reference)",
+    options=(
+        OptionSpec(
+            "tie_break",
+            "str",
+            "fractional",
+            "round tie resolution, as for method 'bfs'",
+            choices=("fractional", "permutation", "quantile"),
+        ),
+    ),
+)
 def partition_exact(
     graph: CSRGraph,
     beta: float,

@@ -21,6 +21,7 @@ import time
 import numpy as np
 
 from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.core.registry import OptionSpec, register_method
 from repro.errors import GraphError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 from repro.bfs.frontier import gather_frontier_arcs
@@ -30,6 +31,19 @@ from repro.rng.seeding import SeedLike, make_generator
 __all__ = ["partition_sequential"]
 
 
+@register_method(
+    "sequential",
+    kind="unweighted",
+    description="baseline - classical sequential ball growing",
+    options=(
+        OptionSpec(
+            "randomize_starts",
+            "bool",
+            True,
+            "grow balls from a random vertex order instead of ascending ids",
+        ),
+    ),
+)
 def partition_sequential(
     graph: CSRGraph,
     beta: float,

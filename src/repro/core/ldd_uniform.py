@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.core.registry import OptionSpec, register_method
 from repro.core.ldd_bfs import partition_bfs_with_shifts
 from repro.core.shifts import shifts_from_values
 from repro.errors import GraphError
@@ -30,6 +31,19 @@ from repro.rng.seeding import SeedLike, make_generator
 __all__ = ["partition_uniform"]
 
 
+@register_method(
+    "uniform",
+    kind="unweighted",
+    description="ablation - uniform shifts in the Algorithm 1 pipeline",
+    options=(
+        OptionSpec(
+            "range_constant",
+            "float",
+            1.0,
+            "scale c of the uniform shift range c * ln(n) / beta",
+        ),
+    ),
+)
 def partition_uniform(
     graph: CSRGraph,
     beta: float,

@@ -1,57 +1,27 @@
-"""Public facade: one entry point for every decomposition method.
+"""Deprecated facade: ``partition()`` forwards to the unified engine.
 
-``partition(graph, beta)`` is the API downstream code and examples use; the
-``method`` keyword selects between the paper's algorithm (default), the exact
-reference, the Section 5 permutation variant, and the baselines.  Returns a
-:class:`PartitionResult` bundling the decomposition with its execution trace
-and (optionally) a verification report.
+.. deprecated::
+    ``partition(graph, beta, method=...)`` predates the method registry and
+    the :func:`~repro.core.engine.decompose` engine; it remains as a thin,
+    API-compatible wrapper so existing call sites keep working.  New code
+    should call :func:`~repro.core.engine.decompose` (which also accepts
+    weighted graphs and per-method ``**options``) and
+    :func:`~repro.core.engine.decompose_many` for batched multi-seed runs.
+    See CHANGES.md for the deprecation path.
+
+:data:`PARTITION_METHODS` and :class:`PartitionResult` are re-exported from
+their new homes (:mod:`repro.core.registry`, :mod:`repro.core.engine`) so
+``from repro.core.partition import ...`` imports stay valid.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core.decomposition import Decomposition, PartitionTrace
-from repro.core.ldd_bfs import partition_bfs
-from repro.core.ldd_blelloch import partition_blelloch
-from repro.core.ldd_exact import partition_exact
-from repro.core.ldd_sequential import partition_sequential
-from repro.core.ldd_uniform import partition_uniform
-from repro.core.verify import VerificationReport, verify_decomposition
-from repro.errors import ParameterError
+from repro.core.engine import PartitionResult, decompose
+from repro.core.registry import PARTITION_METHODS
 from repro.graphs.csr import CSRGraph
 from repro.rng.seeding import SeedLike
 
 __all__ = ["PartitionResult", "partition", "PARTITION_METHODS"]
-
-#: Method name -> short description, for the CLI and documentation.
-PARTITION_METHODS = {
-    "bfs": "Algorithm 1 - exponentially shifted BFS (the paper's algorithm)",
-    "exact": "Algorithm 2 - exact shifted shortest paths (Dijkstra reference)",
-    "permutation": "Section 5 variant - random-permutation tie-breaks",
-    "quantile": "Section 5 variant - shifts from permutation positions",
-    "sequential": "baseline - classical sequential ball growing",
-    "blelloch": "baseline - Blelloch et al. [9] iterative batched centers",
-    "uniform": "ablation - uniform shifts in the Algorithm 1 pipeline",
-}
-
-
-@dataclass(frozen=True, eq=False)
-class PartitionResult:
-    """A decomposition, how it was computed, and (optionally) its checks."""
-
-    decomposition: Decomposition
-    trace: PartitionTrace
-    report: VerificationReport | None = None
-
-    def summary(self) -> dict[str, float | str]:
-        """Merged one-line summary for logs and benchmark tables."""
-        out: dict[str, float | str] = {"method": self.trace.method}
-        out.update(self.decomposition.summary())
-        out["rounds"] = float(self.trace.rounds)
-        out["work"] = float(self.trace.work)
-        out["depth"] = float(self.trace.depth)
-        return out
 
 
 def partition(
@@ -64,20 +34,9 @@ def partition(
 ) -> PartitionResult:
     """Compute a ``(β, O(log n / β))`` low-diameter decomposition.
 
-    Parameters
-    ----------
-    graph:
-        Undirected unweighted graph (weighted graphs: see
-        :func:`repro.core.weighted.partition_weighted`).
-    beta:
-        Target fraction of cut edges, ``0 < β ≤ 1``.
-    method:
-        One of :data:`PARTITION_METHODS`.
-    seed:
-        Seed / generator for reproducibility.
-    validate:
-        Run :func:`verify_decomposition` on the result (deterministic
-        invariants raise on failure) and attach the report.
+    Deprecated-but-working facade over :func:`repro.core.engine.decompose`
+    with the historical signature (no per-method options, defaults to the
+    paper's BFS algorithm).
 
     Examples
     --------
@@ -89,34 +48,6 @@ def partition(
     >>> res.decomposition.cut_fraction() < 0.5
     True
     """
-    if method == "bfs":
-        decomposition, trace = partition_bfs(graph, beta, seed=seed)
-    elif method == "exact":
-        decomposition, trace = partition_exact(graph, beta, seed=seed)
-    elif method == "permutation":
-        decomposition, trace = partition_bfs(
-            graph, beta, seed=seed, tie_break="permutation"
-        )
-    elif method == "quantile":
-        decomposition, trace = partition_bfs(
-            graph, beta, seed=seed, tie_break="quantile"
-        )
-    elif method == "sequential":
-        decomposition, trace = partition_sequential(graph, beta, seed=seed)
-    elif method == "blelloch":
-        decomposition, trace = partition_blelloch(graph, beta, seed=seed)
-    elif method == "uniform":
-        decomposition, trace = partition_uniform(graph, beta, seed=seed)
-    else:
-        raise ParameterError(
-            f"unknown method {method!r}; choices: {sorted(PARTITION_METHODS)}"
-        )
-    report = None
-    if validate:
-        delta_max = trace.delta_max if trace.delta_max == trace.delta_max else None
-        report = verify_decomposition(
-            decomposition, beta=beta, delta_max=delta_max
-        )
-    return PartitionResult(
-        decomposition=decomposition, trace=trace, report=report
+    return decompose(
+        graph, beta, method=method, seed=seed, validate=validate
     )

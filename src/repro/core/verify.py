@@ -14,6 +14,14 @@ Two kinds of checks:
 
 ``verify_decomposition`` with default arguments performs the deterministic
 checks and returns a :class:`VerificationReport` carrying everything.
+
+Weighted decompositions (:class:`~repro.core.weighted.WeightedDecomposition`,
+produced by the ``dijkstra`` method) route through the same entry point:
+partition totality and per-piece connectivity are checked on the topology,
+radii/cuts are measured in weighted distance, and the unweighted-only hop
+invariant (Lemma 4.1 is a statement about BFS levels) is skipped —
+``hops_consistent`` is reported vacuously true and ``report.weighted`` is
+set so consumers can tell.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import numpy as np
 
 from repro.bfs.sequential import multi_source_bfs
 from repro.core.decomposition import Decomposition
+from repro.core.weighted import WeightedDecomposition
 from repro.errors import VerificationError
 from repro.graphs.ops import induced_subgraph
 
@@ -43,13 +52,17 @@ class VerificationReport:
     is_partition: bool
     pieces_connected: bool
     hops_consistent: bool
-    max_radius: int
-    max_strong_diameter: int
+    max_radius: int | float
+    max_strong_diameter: int | float
     diameters_exact: bool
     num_cut_edges: int
     cut_fraction: float
     delta_max: float | None
     radius_within_certificate: bool | None
+    #: True when the checked decomposition was weighted: radii and cut
+    #: fraction are in weighted distance/weight, and ``hops_consistent`` is
+    #: vacuous (the hop invariant is an unweighted-only statement).
+    weighted: bool = False
 
     def all_invariants_hold(self) -> bool:
         """True when every deterministic invariant passed."""
@@ -90,7 +103,7 @@ def strong_diameters(
 
 
 def verify_decomposition(
-    decomposition: Decomposition,
+    decomposition: Decomposition | WeightedDecomposition,
     *,
     beta: float | None = None,
     delta_max: float | None = None,
@@ -102,17 +115,25 @@ def verify_decomposition(
     Parameters
     ----------
     decomposition:
-        The partition to check.
+        The partition to check.  Weighted decompositions are accepted; the
+        unweighted-only hop invariant is skipped for them (see the module
+        docstring).
     beta, delta_max:
         Optional run parameters enabling the probabilistic comparisons
         (cut fraction vs β, radii vs the shift certificate).
     exact_diameters:
         Compute exact strong diameters (quadratic per piece) instead of the
-        center-eccentricity certificate.
+        center-eccentricity certificate.  Ignored for weighted inputs.
     raise_on_violation:
         Raise :class:`VerificationError` on deterministic invariant failures
         (default); pass ``False`` to collect the report regardless.
     """
+    if isinstance(decomposition, WeightedDecomposition):
+        return _verify_weighted(
+            decomposition,
+            delta_max=delta_max,
+            raise_on_violation=raise_on_violation,
+        )
     graph = decomposition.graph
     n = graph.num_vertices
     labels = decomposition.labels
@@ -178,5 +199,72 @@ def verify_decomposition(
         ]
         raise VerificationError(
             f"decomposition violates deterministic invariants: {failing}"
+        )
+    return report
+
+
+def _verify_weighted(
+    decomposition: WeightedDecomposition,
+    *,
+    delta_max: float | None,
+    raise_on_violation: bool,
+) -> VerificationReport:
+    """Weighted checks: totality, connectivity, weighted radii and cuts.
+
+    Connectivity is a topology statement, so it reuses the unweighted BFS on
+    each induced piece; radii and the ``δ_max`` certificate are compared in
+    weighted distance.  The per-piece weighted eccentricity from the center
+    is exactly ``radius``, so the reported strong-diameter certificate is
+    the radius (the true strong diameter lies in ``[r, 2r]``).
+    """
+    graph = decomposition.graph
+    n = graph.num_vertices
+    labels = decomposition.labels
+    center = decomposition.center
+
+    is_partition = bool(
+        labels.shape[0] == n and np.all(labels >= 0) and np.all(center >= 0)
+    )
+
+    pieces_connected = True
+    for label in range(decomposition.num_pieces):
+        members = np.flatnonzero(labels == label)
+        sub = induced_subgraph(graph, members)
+        center_local = int(sub.new_ids[center[members[0]]])
+        res = multi_source_bfs(sub.graph, np.asarray([center_local]))
+        if np.any(res.dist < 0):
+            pieces_connected = False
+
+    max_radius = decomposition.max_radius()
+    report = VerificationReport(
+        num_pieces=decomposition.num_pieces,
+        is_partition=is_partition,
+        pieces_connected=pieces_connected,
+        hops_consistent=True,  # vacuous: no hop invariant for weighted runs
+        max_radius=max_radius,
+        max_strong_diameter=max_radius,
+        diameters_exact=False,
+        num_cut_edges=decomposition.num_cut_edges(),
+        cut_fraction=decomposition.cut_weight_fraction(),
+        delta_max=delta_max,
+        radius_within_certificate=(
+            bool(max_radius <= delta_max + 1e-9)
+            if delta_max is not None
+            else None
+        ),
+        weighted=True,
+    )
+    if raise_on_violation and not report.all_invariants_hold():
+        failing = [
+            name
+            for name, ok in (
+                ("partition", report.is_partition),
+                ("connectivity", report.pieces_connected),
+            )
+            if not ok
+        ]
+        raise VerificationError(
+            f"weighted decomposition violates deterministic invariants: "
+            f"{failing}"
         )
     return report

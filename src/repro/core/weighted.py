@@ -20,12 +20,13 @@ the (uncontrolled) sequential depth, matching the paper's caveat.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.bfs.dijkstra import dijkstra_multisource
 from repro.core.decomposition import PartitionTrace
+from repro.core.registry import register_method
 from repro.core.shifts import sample_shifts
 from repro.errors import GraphError
 from repro.graphs.weighted import WeightedCSRGraph
@@ -45,13 +46,16 @@ class WeightedDecomposition:
     graph: WeightedCSRGraph
     center: np.ndarray
     radius: np.ndarray
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def labels(self) -> np.ndarray:
-        centers = np.unique(self.center)
-        lookup = np.full(self.graph.num_vertices, -1, dtype=np.int64)
-        lookup[centers] = np.arange(centers.shape[0], dtype=np.int64)
-        return lookup[self.center]
+        if "labels" not in self._cache:
+            centers = np.unique(self.center)
+            lookup = np.full(self.graph.num_vertices, -1, dtype=np.int64)
+            lookup[centers] = np.arange(centers.shape[0], dtype=np.int64)
+            self._cache["labels"] = lookup[self.center]
+        return self._cache["labels"]
 
     @property
     def num_pieces(self) -> int:
@@ -61,13 +65,21 @@ class WeightedDecomposition:
         """Largest weighted distance from any vertex to its center."""
         return float(self.radius.max()) if self.radius.size else 0.0
 
+    def _cut_stats(self) -> tuple[int, float]:
+        """(cut edge count, cut weight), computed in one edge scan."""
+        if "cut_stats" not in self._cache:
+            labels = self.labels
+            edges = self.graph.edge_array()
+            w = self.graph.edge_weight_array()
+            cross = labels[edges[:, 0]] != labels[edges[:, 1]]
+            self._cache["cut_stats"] = (
+                int(cross.sum()), float(w[cross].sum())
+            )
+        return self._cache["cut_stats"]
+
     def cut_weight(self) -> float:
         """Total weight of edges crossing between pieces."""
-        labels = self.labels
-        edges = self.graph.edge_array()
-        w = self.graph.edge_weight_array()
-        cross = labels[edges[:, 0]] != labels[edges[:, 1]]
-        return float(w[cross].sum())
+        return self._cut_stats()[1]
 
     def cut_weight_fraction(self) -> float:
         """Cut weight over total weight — the weighted β measure."""
@@ -75,11 +87,50 @@ class WeightedDecomposition:
         return self.cut_weight() / total if total else 0.0
 
     def num_cut_edges(self) -> int:
-        labels = self.labels
-        edges = self.graph.edge_array()
-        return int((labels[edges[:, 0]] != labels[edges[:, 1]]).sum())
+        return self._cut_stats()[0]
+
+    def piece_sizes(self) -> np.ndarray:
+        """Vertex count per piece, aligned with sorted distinct centers."""
+        return np.bincount(self.labels, minlength=self.num_pieces)
+
+    def piece_members(self, label: int) -> np.ndarray:
+        """Vertex ids belonging to piece ``label``."""
+        return np.flatnonzero(self.labels == label)
+
+    def radii(self) -> np.ndarray:
+        """Max weighted distance to the center, per piece."""
+        out = np.zeros(self.num_pieces, dtype=np.float64)
+        np.maximum.at(out, self.labels, self.radius)
+        return out
+
+    def summary(self) -> dict[str, float]:
+        """One-line statistics dict, mirroring ``Decomposition.summary``.
+
+        ``cut_fraction`` is the *weighted* measure (cut weight over total
+        weight — the β of the Section 6 analysis); the raw edge-count
+        fraction is reported separately as ``cut_edge_fraction``.
+        """
+        sizes = self.piece_sizes()
+        radii = self.radii()
+        m = self.graph.num_edges
+        return {
+            "num_pieces": float(self.num_pieces),
+            "max_piece_size": float(sizes.max()) if sizes.size else 0.0,
+            "mean_piece_size": float(sizes.mean()) if sizes.size else 0.0,
+            "max_radius": float(radii.max()) if radii.size else 0.0,
+            "mean_radius": float(radii.mean()) if radii.size else 0.0,
+            "num_cut_edges": float(self.num_cut_edges()),
+            "cut_fraction": float(self.cut_weight_fraction()),
+            "cut_weight": float(self.cut_weight()),
+            "cut_edge_fraction": float(self.num_cut_edges() / m) if m else 0.0,
+        }
 
 
+@register_method(
+    "dijkstra",
+    kind="weighted",
+    description="Section 6 extension - shifted multi-source Dijkstra (weighted graphs)",
+)
 def partition_weighted(
     graph: WeightedCSRGraph,
     beta: float,

@@ -10,7 +10,7 @@ a geometric sum ``≈ 2·scale(ℓ*)`` for doubling scales.  Since pieces at
 level ``j`` have radius ~``scale(j)``, ``d_T`` dominates the graph distance
 up to constants, and Bartal/FRT-style arguments bound the expected blow-up —
 our benchmark measures it empirically (this reproduction's hierarchy is the
-simplified top-down variant; see DESIGN.md).
+simplified top-down variant; see DESIGN.md §5).
 """
 
 from __future__ import annotations

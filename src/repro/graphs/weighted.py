@@ -10,10 +10,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import GraphError
+from repro.errors import GraphError, ParameterError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 
-__all__ = ["WeightedCSRGraph", "weighted_from_edges", "uniform_weights"]
+__all__ = [
+    "WeightedCSRGraph",
+    "weighted_from_edges",
+    "uniform_weights",
+    "weights_by_name",
+    "WEIGHT_SCHEMES",
+]
 
 
 class WeightedCSRGraph(CSRGraph):
@@ -129,3 +135,59 @@ def uniform_weights(graph: CSRGraph, weight: float = 1.0) -> WeightedCSRGraph:
         np.full(graph.num_arcs, weight, dtype=np.float64),
         validate=False,
     )
+
+
+#: Weight-scheme names accepted by :func:`weights_by_name` (CLI ``--weights``).
+WEIGHT_SCHEMES = {
+    "unit": "constant weight (default 1.0): unit:<w>",
+    "uniform": "i.i.d. uniform per edge: uniform:<lo>,<hi>",
+    "exp": "i.i.d. exponential per edge: exp:<mean>",
+}
+
+
+def weights_by_name(
+    graph: CSRGraph, spec: str, *, seed: int | None = None
+) -> WeightedCSRGraph:
+    """Lift ``graph`` to a :class:`WeightedCSRGraph` from a spec string.
+
+    Grammar mirrors the generator specs of
+    :func:`repro.graphs.generators.by_name`: ``scheme[:arg1[,arg2]]`` with
+    the schemes of :data:`WEIGHT_SCHEMES` — e.g. ``unit``, ``unit:2.5``,
+    ``uniform:0.5,2.0``, ``exp:1.0``.  Random schemes draw one weight per
+    undirected edge, deterministically in ``seed``.
+    """
+    name, _, argstr = spec.partition(":")
+    name = name.strip().lower()
+    if name not in WEIGHT_SCHEMES:
+        raise ParameterError(
+            f"unknown weight scheme {name!r}; choices: {sorted(WEIGHT_SCHEMES)}"
+        )
+    try:
+        args = [float(tok) for tok in argstr.split(",") if tok.strip()]
+    except ValueError as exc:
+        raise ParameterError(f"bad weight spec {spec!r}: {exc}") from exc
+    if name == "unit":
+        weight = args[0] if args else 1.0
+        return uniform_weights(graph, weight)
+    rng = np.random.default_rng(seed)
+    m = graph.num_edges
+    if name == "uniform":
+        if len(args) != 2:
+            raise ParameterError(
+                f"weight scheme 'uniform' needs lo,hi — got {spec!r}"
+            )
+        lo, hi = args
+        if not 0 < lo <= hi:
+            raise ParameterError("need 0 < lo <= hi for uniform weights")
+        weights = rng.uniform(lo, hi, size=m)
+    else:  # exp
+        if len(args) != 1:
+            raise ParameterError(
+                f"weight scheme 'exp' needs a mean — got {spec!r}"
+            )
+        (mean,) = args
+        if mean <= 0:
+            raise ParameterError("need mean > 0 for exponential weights")
+        # Shift away from zero: edge weights must be strictly positive.
+        weights = rng.exponential(mean, size=m) + 1e-9
+    return weighted_from_edges(graph.num_vertices, graph.edge_array(), weights)
