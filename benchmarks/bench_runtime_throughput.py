@@ -1,0 +1,84 @@
+"""Experiment RT — request throughput of the shared-memory batch runtime.
+
+The serving claim behind `repro.runtime`: once the graph is resident in
+shared memory and workers stay attached, a decomposition request costs its
+compute plus a slim result, while a per-task pickling executor pays the full
+graph through the pickle stream *twice* per request (task out, result back).
+On a >= 100k-edge graph the runtime must sustain at least 2x the
+requests/sec of the per-task pickling baseline while producing bit-identical
+assignments (checked by digest here, and exhaustively by
+tests/test_conformance.py).
+
+The dense Erdos-Renyi workload is the serving-heavy regime on purpose: many
+edges (graph transport scales with m), few vertices and a tiny diameter
+(compute rounds and result arrays scale with n) — the shape where a batch
+runtime earns its keep.  ``REPRO_BENCH_SMOKE=1`` shrinks the workload to a
+seconds-fast path-exercise (used by CI) and skips the speedup floor, which
+is only meaningful at full size.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.graphs.generators import erdos_renyi
+from repro.runtime.throughput import measure_throughput
+
+from common import Table, bench_scale
+
+#: Strategies the RT table reports, baseline first.
+RT_EXECUTORS = ("pickle", "process", "shared")
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _workload():
+    """(graph, beta, num_requests, repeats) for the current mode/scale."""
+    if _smoke():
+        return erdos_renyi(200, 0.2, seed=0), 0.3, 6, 1
+    scale = bench_scale()
+    # ~128k edges * scale; n grows with scale so density stays serving-shaped.
+    n = 800 * scale
+    p = 0.4 / scale
+    return erdos_renyi(n, p, seed=0), 0.3, 128, 4
+
+
+def test_runtime_throughput():
+    graph, beta, num_requests, repeats = _workload()
+    records = measure_throughput(
+        graph,
+        beta,
+        num_requests=num_requests,
+        executors=("serial",) + RT_EXECUTORS,
+        max_workers=2,
+        repeats=repeats,
+    )
+    baseline = records["pickle"]
+    table = Table(
+        f"RT: requests/sec, n={graph.num_vertices} m={graph.num_edges} "
+        f"beta={beta} requests={num_requests}",
+        ["executor", "seconds", "req_per_s", "vs_pickle"],
+    )
+    for name, rec in records.items():
+        table.add(
+            name, rec.seconds, rec.requests_per_sec,
+            rec.speedup_over(baseline),
+        )
+    table.show()
+
+    digests = {rec.assignments_digest for rec in records.values()}
+    assert len(digests) == 1, (
+        "executors disagree on assignments: determinism bug"
+    )
+    if not _smoke():
+        speedup = records["shared"].speedup_over(baseline)
+        assert graph.num_edges >= 100_000
+        assert speedup >= 2.0, (
+            f"shared runtime only {speedup:.2f}x over per-task pickling"
+        )
+
+
+if __name__ == "__main__":
+    test_runtime_throughput()

@@ -11,7 +11,7 @@ Run:  python examples/figure1_grid.py [side]
 import sys
 from pathlib import Path
 
-from repro.core import partition
+from repro.core import decompose
 from repro.graphs import grid_2d
 from repro.viz import render_grid_ascii, render_grid_ppm
 
@@ -26,7 +26,7 @@ def main() -> None:
     print(f"decomposing a {side}x{side} grid at {len(FIGURE1_BETAS)} betas\n")
     print(f"{'beta':>8} {'pieces':>8} {'max_rad':>8} {'cut_frac':>10}  render")
     for beta in FIGURE1_BETAS:
-        result = partition(graph, beta, seed=1307)
+        result = decompose(graph, beta, seed=1307)
         d = result.decomposition
         path = render_grid_ppm(
             d.labels, side, side, out_dir / f"beta_{beta}.ppm"
@@ -36,7 +36,7 @@ def main() -> None:
             f"{d.cut_fraction():>10.4f}  {path}"
         )
     # Terminal thumbnail of the middle panel.
-    mid = partition(graph, 0.02, seed=1307).decomposition
+    mid = decompose(graph, 0.02, seed=1307).decomposition
     print("\nASCII thumbnail (beta = 0.02):\n")
     print(render_grid_ascii(mid.labels, side, side, max_size=48))
 

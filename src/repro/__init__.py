@@ -20,13 +20,25 @@ multi-seed or multi-graph runs go through its companion::
     batch = decompose_many(grid_2d(100, 100), beta=0.05, seeds=8)
     print(batch.aggregate())          # mean/std of cut fraction, radius, ...
 
-The older ``partition(graph, beta)`` facade still works but is deprecated —
-see :mod:`repro.core.partition` and CHANGES.md.
+For serving many decompositions of the same graphs, the shared-memory batch
+runtime keeps the graphs resident and streams requests to persistent
+workers (``decompose_many(..., executor="shared")`` routes through it)::
+
+    from repro.runtime import DecompositionPool
+
+    with DecompositionPool(grid_2d(100, 100)) as pool:
+        result = pool.decompose("0", beta=0.05, seed=0)
+
+The older ``partition(graph, beta)`` facade still works but is deprecated
+(each call emits a ``DeprecationWarning``) — see
+:mod:`repro.core.partition` and CHANGES.md.
 
 Package layout (see DESIGN.md for the full inventory):
 
 - :mod:`repro.core` — the decomposition engine, method registry, the
   paper's algorithm and baselines, verification;
+- :mod:`repro.runtime` — the shared-memory batch runtime (resident graphs,
+  persistent worker pools, throughput measurement);
 - :mod:`repro.graphs`, :mod:`repro.rng`, :mod:`repro.bfs`, :mod:`repro.pram`
   — the substrates it runs on;
 - :mod:`repro.lowstretch`, :mod:`repro.spanners`, :mod:`repro.embeddings`,

@@ -80,13 +80,46 @@ def resolve_claims(
     cand_vertex: np.ndarray,
     cand_center: np.ndarray,
     tie_key: np.ndarray,
+    *,
+    num_vertices: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Resolve concurrent bids: per vertex, minimum ``(key, center)`` wins.
 
-    Returns (winning vertices, their centers), each vertex appearing once.
-    This is the CRCW priority-write step of the round; ``lexsort`` plays the
-    role of the parallel semisort.
+    Returns (winning vertices, their centers), each vertex appearing once in
+    ascending order.  This is the CRCW priority-write step of the round.
+
+    Two equivalent implementations, chosen by candidate volume:
+
+    - *semisort*: ``lexsort`` by ``(vertex, key, center)`` and keep the
+      first entry per vertex — O(C log C), no per-vertex scratch, best for
+      the many small rounds of low-β runs;
+    - *scatter*: two ``minimum.at`` priority-write passes (first the key,
+      then the center among exact key ties) — O(C + n), the literal CRCW
+      formulation, and several times faster once a round's candidate set is
+      a sizable fraction of the graph (dense graphs at high β resolve most
+      vertices in one round).
+
+    Both apply the identical lexicographic rule, so the winner set is
+    bit-identical regardless of which path ran — for *finite* keys, which
+    :func:`delayed_multisource_bfs` validates (NaN would poison the
+    scatter path's priority writes).  ``num_vertices`` (the graph's vertex
+    count) enables the scatter path; without it the semisort always runs.
     """
+    if (
+        num_vertices is not None
+        and cand_vertex.size >= num_vertices
+        and cand_vertex.size > 1024
+    ):
+        cand_key = tie_key[cand_center]
+        best_key = np.full(num_vertices, np.inf)
+        np.minimum.at(best_key, cand_vertex, cand_key)
+        tied = cand_key == best_key[cand_vertex]
+        best_center = np.full(num_vertices, np.iinfo(np.int64).max)
+        np.minimum.at(best_center, cand_vertex[tied], cand_center[tied])
+        claimed = np.zeros(num_vertices, dtype=bool)
+        claimed[cand_vertex] = True
+        winners = np.flatnonzero(claimed).astype(cand_vertex.dtype)
+        return winners, best_center[winners]
     order = np.lexsort((cand_center, tie_key[cand_center], cand_vertex))
     v_sorted = cand_vertex[order]
     c_sorted = cand_center[order]
@@ -132,8 +165,10 @@ def delayed_multisource_bfs(
     start_time = np.asarray(start_time, dtype=np.float64)
     if start_time.shape[0] != n:
         raise ParameterError("start_time must have one entry per vertex")
-    if n and start_time.min() < 0:
-        raise ParameterError("start times must be non-negative")
+    # NaN slips past a plain `min() < 0` check (NaN comparisons are False)
+    # and would poison round scheduling and claim resolution downstream.
+    if n and not (np.isfinite(start_time).all() and start_time.min() >= 0):
+        raise ParameterError("start times must be finite and non-negative")
     floor_start = np.floor(start_time).astype(np.int64)
     if tie_key is None:
         tie_key = start_time - floor_start
@@ -141,6 +176,8 @@ def delayed_multisource_bfs(
         tie_key = np.asarray(tie_key, dtype=np.float64)
         if tie_key.shape[0] != n:
             raise ParameterError("tie_key must have one entry per vertex")
+        if n and not np.isfinite(tie_key).all():
+            raise ParameterError("tie keys must be finite")
     if center_mask is not None:
         center_mask = np.asarray(center_mask, dtype=bool)
         if center_mask.shape[0] != n:
@@ -209,7 +246,9 @@ def delayed_multisource_bfs(
         cand_c = np.concatenate([waking.astype(np.int64), prop_c])
 
         if cand_v.size:
-            winners, owners = resolve_claims(cand_v, cand_c, tie_key)
+            winners, owners = resolve_claims(
+                cand_v, cand_c, tie_key, num_vertices=n
+            )
             center[winners] = owners
             round_claimed[winners] = t
             frontier = winners.astype(VERTEX_DTYPE)

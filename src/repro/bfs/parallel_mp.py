@@ -177,7 +177,9 @@ class ParallelBFSEngine:
             cand_c = np.concatenate([waking.astype(np.int64), prop_c])
 
             if cand_v.size:
-                winners, owners = resolve_claims(cand_v, cand_c, tie_key)
+                winners, owners = resolve_claims(
+                    cand_v, cand_c, tie_key, num_vertices=n
+                )
                 center[winners] = owners
                 round_claimed[winners] = t
                 frontier = winners.astype(VERTEX_DTYPE)

@@ -14,6 +14,11 @@ Subcommands
     Run a β-sweep on one graph and print the cut-fraction/diameter table —
     the quantitative content of Figure 1.  ``--reps`` averages each row
     over several seeds.
+``bench-throughput``
+    Serve the same multi-seed request stream through the shared-memory
+    batch runtime and the pickling executors, printing requests/sec, the
+    speedup over the baseline, and whether every strategy produced
+    bit-identical assignments.
 ``methods``
     List registered decomposition methods (with their options), graph
     generators and weight schemes.
@@ -30,8 +35,8 @@ from repro._version import __version__
 __all__ = ["main", "build_parser"]
 
 
-def _add_engine_args(parser: argparse.ArgumentParser) -> None:
-    """Arguments shared by the subcommands that run the engine."""
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    """Run-configuration arguments shared by every engine subcommand."""
     parser.add_argument(
         "--method",
         default="auto",
@@ -53,22 +58,28 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "exp:mean",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width (default: CPU count)",
+    )
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Config arguments plus the batch-engine repetition controls."""
+    _add_config_args(parser)
+    parser.add_argument(
         "--reps",
         type=int,
         default=1,
         help="repetitions over consecutive seeds via the batch engine",
     )
     parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="process-pool width for --reps > 1 (default: CPU count)",
-    )
-    parser.add_argument(
         "--executor",
-        choices=("auto", "process", "serial"),
+        choices=("auto", "process", "serial", "shared"),
         default="auto",
-        help="batch executor for --reps > 1",
+        help="batch executor for --reps > 1 ('shared' is the "
+        "shared-memory batch runtime)",
     )
 
 
@@ -123,6 +134,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--seed", type=int, default=0)
     _add_engine_args(p_swp)
 
+    p_bt = sub.add_parser(
+        "bench-throughput",
+        help="requests/sec of the shared-memory runtime vs pickling "
+        "executors on one graph",
+    )
+    p_bt.add_argument("--graph", required=True)
+    p_bt.add_argument("--beta", type=float, required=True)
+    p_bt.add_argument("--seed", type=int, default=0)
+    p_bt.add_argument(
+        "--requests",
+        type=int,
+        default=32,
+        help="requests per executor (consecutive seeds from --seed)",
+    )
+    p_bt.add_argument(
+        "--executors",
+        default="pickle,shared",
+        help="comma-separated strategies: serial, pickle, process, shared "
+        "(the first is the speedup baseline)",
+    )
+    p_bt.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="passes per executor; the fastest is reported",
+    )
+    _add_config_args(p_bt)
+    p_bt.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
     sub.add_parser("methods", help="list methods, generators, weight schemes")
     return parser
 
@@ -139,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_render(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "bench-throughput":
+            return _cmd_bench_throughput(args)
         if args.command == "methods":
             return _cmd_methods()
     except ReproError as exc:
@@ -293,6 +337,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{cf / beta:>9.3f} {agg['rounds_mean']:>7.1f}"
         )
     return 0
+
+
+def _cmd_bench_throughput(args: argparse.Namespace) -> int:
+    from repro.errors import ParameterError
+    from repro.runtime.throughput import measure_throughput
+
+    if args.requests < 1:
+        raise ParameterError(f"--requests must be >= 1, got {args.requests}")
+    executors = tuple(
+        tok.strip() for tok in args.executors.split(",") if tok.strip()
+    )
+    if not executors:
+        raise ParameterError("--executors must name at least one strategy")
+    graph = _build_graph(args)
+    options = _parse_options(graph, args.method, args.option)
+    records = measure_throughput(
+        graph,
+        args.beta,
+        num_requests=args.requests,
+        executors=executors,
+        max_workers=args.workers,
+        method=args.method,
+        base_seed=args.seed,
+        options=options,
+        repeats=args.repeats,
+    )
+    baseline = records[executors[0]]
+    identical = len({r.assignments_digest for r in records.values()}) == 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": args.graph,
+                    "n": graph.num_vertices,
+                    "m": graph.num_edges,
+                    "beta": args.beta,
+                    "requests": args.requests,
+                    "identical_assignments": identical,
+                    "executors": {
+                        name: {
+                            "seconds": rec.seconds,
+                            "requests_per_sec": rec.requests_per_sec,
+                            "speedup": rec.speedup_over(baseline),
+                            "digest": rec.assignments_digest,
+                        }
+                        for name, rec in records.items()
+                    },
+                }
+            )
+        )
+        return 0 if identical else 1
+    print(
+        f"graph {args.graph}: n={graph.num_vertices} m={graph.num_edges} "
+        f"beta={args.beta} requests={args.requests} repeats={args.repeats}"
+    )
+    print(
+        f"{'executor':>10} {'seconds':>9} {'req/s':>9} "
+        f"{'vs ' + executors[0]:>12}"
+    )
+    for name, rec in records.items():
+        print(
+            f"{name:>10} {rec.seconds:>9.3f} {rec.requests_per_sec:>9.2f} "
+            f"{rec.speedup_over(baseline):>11.2f}x"
+        )
+    print(
+        "assignments identical across executors: "
+        + ("yes" if identical else "NO — DETERMINISM BUG")
+    )
+    return 0 if identical else 1
 
 
 def _cmd_methods() -> int:

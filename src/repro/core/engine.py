@@ -16,11 +16,14 @@ for every decomposition algorithm:
   which skips the unweighted-only hop invariant for weighted inputs).
 
 ``decompose_many`` is the batched companion: it fans one configuration out
-across seeds and/or graphs — serially or on a process pool with bounded
-concurrency — and returns the per-run results together with aggregate
-mean/std statistics.  Because every run is keyed by an explicit integer
-seed, the pooled execution is bit-identical to the serial one; repetition
-loops in benchmarks and the CLI's ``--reps`` are thin wrappers over it.
+across seeds and/or graphs — serially, on a legacy process pool, or on the
+shared-memory batch runtime (:mod:`repro.runtime`), where graphs are loaded
+into ``multiprocessing.shared_memory`` once and workers attach zero-copy —
+and returns the per-run results together with aggregate mean/std
+statistics.  Because every run is keyed by an explicit integer seed, every
+executor is bit-identical to the serial loop (pinned by
+``tests/test_conformance.py``); repetition loops in benchmarks and the
+CLI's ``--reps`` are thin wrappers over it.
 """
 
 from __future__ import annotations
@@ -309,9 +312,12 @@ def decompose_many(
         integer seeds.  Integer seeds are required — they are what makes the
         pooled execution reproducible and identical to the serial one.
     executor:
-        ``"process"`` (pool of worker processes), ``"serial"`` (in-process
-        loop), or ``"auto"`` (process pool when more than one worker and
-        more than one run are available).
+        ``"shared"`` (persistent worker pool attached to shared-memory
+        resident graphs — the :mod:`repro.runtime` batch runtime),
+        ``"process"`` (legacy pool shipping graphs once per worker through
+        pickle), ``"serial"`` (in-process loop), or ``"auto"`` (the shared
+        runtime when more than one worker and more than one run are
+        available, serial otherwise).
     max_workers:
         Concurrency bound for the pool; defaults to ``min(num runs, CPU
         count)``.
@@ -320,14 +326,15 @@ def decompose_many(
     -------
     BatchResult
         Per-run results in task order plus mean/std aggregates.  Task order
-        — hence every per-seed summary — is independent of the executor.
+        — hence every per-seed summary — is independent of the executor,
+        and per-seed results are bit-identical across all of them.
     """
     graph_list = _normalise_graphs(graphs)
     seed_list = _normalise_seeds(seeds)
-    if executor not in ("auto", "process", "serial"):
+    if executor not in ("auto", "process", "serial", "shared"):
         raise ParameterError(
             f"unknown executor {executor!r}; "
-            "choices: ['auto', 'process', 'serial']"
+            "choices: ['auto', 'process', 'serial', 'shared']"
         )
     # Validate the configuration once, up front: a bad method/option fails
     # here with the registry's message instead of inside N pool workers.
@@ -341,14 +348,26 @@ def decompose_many(
 
     workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
     workers = max(1, min(int(workers), len(tasks)))
-    use_pool = executor == "process" or (executor == "auto" and workers > 1)
 
     results: list[PartitionResult] | None = None
-    if use_pool:
+    if executor == "process":
         results = _run_pool(
             graph_list, beta, method, validate, options, tasks, workers,
-            strict=executor == "process",
+            strict=True,
         )
+    elif executor == "shared" or (executor == "auto" and workers > 1):
+        results = _run_shared(
+            graph_list, beta, method, validate, options, tasks, workers,
+            strict=executor == "shared",
+        )
+        if results is None:
+            # auto degrades gracefully: no shared memory (tiny /dev/shm,
+            # say) does not mean no parallelism — the pickling pool may
+            # still work; only if that fails too does the batch go serial.
+            results = _run_pool(
+                graph_list, beta, method, validate, options, tasks,
+                workers, strict=False,
+            )
     if results is None:
         results = [
             _run_serial_task(
@@ -402,6 +421,51 @@ def _run_pool(
         warnings.warn(
             f"process pool unavailable ({exc!r}); running the batch "
             "serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+
+
+def _run_shared(
+    graphs, beta, method, validate, options, tasks, workers, *, strict
+) -> list[PartitionResult] | None:
+    """Run the batch on the shared-memory runtime (``None`` = fall back).
+
+    Routes through :class:`repro.runtime.pool.DecompositionPool`: graphs go
+    into shared memory once, workers attach once, and each task crosses the
+    process boundary as a tiny request.  Infrastructure failures (no
+    ``/dev/shm``, a sandbox forbidding subprocesses, a worker killed by the
+    OS) return ``None`` when ``strict`` is false — the ``auto`` caller then
+    tries the pickling pool before degrading to serial — while exceptions
+    raised by the runs themselves always propagate.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    # Imported lazily: the engine is the runtime's dependency, not the
+    # other way round (repro.runtime.pool imports decompose from here).
+    from repro.runtime.pool import DecompositionPool, DecompositionRequest
+
+    try:
+        # Sequence inputs get the pool's own str(index) keys.
+        with DecompositionPool(graphs, max_workers=workers) as pool:
+            return pool.run(
+                DecompositionRequest(
+                    graph_key=str(graph_index),
+                    beta=beta,
+                    method=method,
+                    seed=seed,
+                    validate=validate,
+                    options=options,
+                )
+                for graph_index, seed in tasks
+            )
+    except (BrokenProcessPool, OSError, PermissionError) as exc:
+        if strict:
+            raise
+        warnings.warn(
+            f"shared-memory runtime unavailable ({exc!r}); falling back "
+            "to the pickling process pool",
             RuntimeWarning,
             stacklevel=3,
         )

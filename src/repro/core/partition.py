@@ -3,9 +3,11 @@
 .. deprecated::
     ``partition(graph, beta, method=...)`` predates the method registry and
     the :func:`~repro.core.engine.decompose` engine; it remains as a thin,
-    API-compatible wrapper so existing call sites keep working.  New code
-    should call :func:`~repro.core.engine.decompose` (which also accepts
-    weighted graphs and per-method ``**options``) and
+    API-compatible wrapper so existing call sites keep working, but every
+    call now emits a :class:`DeprecationWarning` (internal callers are
+    migrated).  New code should call
+    :func:`~repro.core.engine.decompose` (which also accepts weighted
+    graphs and per-method ``**options``) and
     :func:`~repro.core.engine.decompose_many` for batched multi-seed runs.
     See CHANGES.md for the deprecation path.
 
@@ -15,6 +17,8 @@ their new homes (:mod:`repro.core.registry`, :mod:`repro.core.engine`) so
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.core.engine import PartitionResult, decompose
 from repro.core.registry import PARTITION_METHODS
@@ -48,6 +52,14 @@ def partition(
     >>> res.decomposition.cut_fraction() < 0.5
     True
     """
+    warnings.warn(
+        "partition() is deprecated; call repro.core.engine.decompose() "
+        "(same result — partition(g, beta, method=m, seed=s) is "
+        "decompose(g, beta, method=m, seed=s)) or decompose_many() for "
+        "batches",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return decompose(
         graph, beta, method=method, seed=seed, validate=validate
     )

@@ -154,6 +154,32 @@ class CSRGraph:
             yield int(u), int(v)
 
     # ------------------------------------------------------------------
+    # array transport (shared-memory runtime)
+    # ------------------------------------------------------------------
+    def csr_arrays(self) -> dict[str, np.ndarray]:
+        """The defining arrays keyed by constructor parameter name.
+
+        This is the transport contract used by :mod:`repro.runtime.shm` to
+        place a graph in shared memory and reattach it zero-copy in worker
+        processes; subclasses extend the dict with their extra arrays
+        (:class:`~repro.graphs.weighted.WeightedCSRGraph` adds ``weights``).
+        """
+        return {"indptr": self._indptr, "indices": self._indices}
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict[str, np.ndarray], *, validate: bool = False
+    ) -> "CSRGraph":
+        """Rebuild a graph from a :meth:`csr_arrays`-shaped dict.
+
+        With ``validate=False`` (the default — the arrays came from a graph
+        that was already validated) construction is zero-copy when the
+        arrays are contiguous and correctly typed, which is what makes
+        shared-memory reattachment free.
+        """
+        return cls(validate=validate, **arrays)
+
+    # ------------------------------------------------------------------
     # dunder / misc
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

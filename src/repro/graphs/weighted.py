@@ -62,6 +62,12 @@ class WeightedCSRGraph(CSRGraph):
         if not np.allclose(w_sorted[0::2], w_sorted[1::2]):
             raise GraphError("arc weights are not symmetric")
 
+    def csr_arrays(self) -> dict[str, np.ndarray]:
+        """Defining arrays for shared-memory transport (adds ``weights``)."""
+        arrays = super().csr_arrays()
+        arrays["weights"] = self._weights
+        return arrays
+
     @property
     def weights(self) -> np.ndarray:
         """Read-only arc weight array aligned to :attr:`indices`."""

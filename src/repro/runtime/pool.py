@@ -1,0 +1,372 @@
+"""Persistent decomposition pool over shared-memory resident graphs.
+
+:class:`DecompositionPool` is the serving half of the batch runtime: the
+graphs are registered once (placed in shared memory via
+:mod:`repro.runtime.shm`), the worker processes attach to them once in
+their initializer, and from then on every request that crosses the process
+boundary is a few-hundred-byte ``(graph_key, beta, method, seed, options)``
+tuple.  Results come back *slim* — assignment arrays plus the trace, never
+the graph — and are rehydrated against the parent's own graph object, so a
+round trip moves O(n) result data instead of O(m) graph data each way.
+
+Determinism: workers run the very same :func:`repro.core.engine.decompose`
+the serial path runs, keyed by the explicit integer seed of the request, so
+pool results are bit-identical to serial ones (the conformance suite in
+``tests/test_conformance.py`` pins this across every registered method).
+
+The pool is a context manager; exiting shuts the workers down and unlinks
+the shared segments.  Request validation (unknown graph key, unknown
+method/options) happens in :meth:`submit` on the parent side, before
+anything is enqueued.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.core.engine import PartitionResult, _resolve, decompose
+from repro.core.verify import VerificationReport
+from repro.core.weighted import WeightedDecomposition
+from repro.errors import ParameterError
+from repro.graphs.csr import CSRGraph
+from repro.runtime.shm import (
+    SharedCSR,
+    SharedGraphDescriptor,
+    attach_shared,
+    share_graph,
+)
+
+__all__ = ["DecompositionPool", "DecompositionRequest"]
+
+
+@dataclass(frozen=True)
+class DecompositionRequest:
+    """One unit of pool work: which graph, which configuration, which seed."""
+
+    graph_key: str
+    beta: float
+    method: str = "auto"
+    seed: int | None = None
+    validate: bool = False
+    options: Mapping[str, object] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+#: key -> attached SharedCSR; populated once per worker by the initializer
+#: and kept alive for the worker's lifetime (the attached graphs' arrays are
+#: views into the mapped segments).
+_WORKER_GRAPHS: dict[str, SharedCSR] = {}
+
+
+def _attach_worker(descriptors: dict[str, SharedGraphDescriptor]) -> None:
+    """Pool initializer: map every registered graph exactly once."""
+    _WORKER_GRAPHS.clear()
+    for key, descriptor in descriptors.items():
+        _WORKER_GRAPHS[key] = attach_shared(descriptor)
+
+
+def _execute_request(payload: tuple) -> tuple:
+    """Run one request against the worker's attached graph, return it slim."""
+    graph_key, beta, method, seed, validate, options = payload
+    graph = _WORKER_GRAPHS[graph_key].graph
+    result = decompose(
+        graph, beta, method=method, seed=seed, validate=validate, **options
+    )
+    return _slim_result(result)
+
+
+def _slim_result(result: PartitionResult) -> tuple:
+    """Strip the graph out of a result for transport (assignments only)."""
+    decomposition = result.decomposition
+    if isinstance(decomposition, WeightedDecomposition):
+        payload = ("weighted", decomposition.center, decomposition.radius)
+    else:
+        payload = ("unweighted", decomposition.center, decomposition.hops)
+    return payload, result.trace, result.report
+
+
+def _rehydrate_result(
+    graph: CSRGraph,
+    slim: tuple[tuple, PartitionTrace, VerificationReport | None],
+) -> PartitionResult:
+    """Rebind a slim result to the parent's graph object."""
+    (kind, center, per_vertex), trace, report = slim
+    if kind == "weighted":
+        decomposition = WeightedDecomposition(
+            graph=graph, center=center, radius=per_vertex
+        )
+    else:
+        decomposition = Decomposition(
+            graph=graph, center=center, hops=per_vertex
+        )
+    return PartitionResult(
+        decomposition=decomposition, trace=trace, report=report
+    )
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+class DecompositionPool:
+    """Workers that hold the registered graphs and stream decompositions.
+
+    Parameters
+    ----------
+    graphs:
+        The graphs to serve: a single graph (key ``"0"``), a sequence
+        (keys ``"0"``, ``"1"``, ...) or an explicit ``{key: graph}``
+        mapping.  Each is copied into shared memory once, here.
+    max_workers:
+        Worker-process count (default: CPU count).
+    start_method:
+        Optional multiprocessing start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); the attach-by-name protocol works under all of
+        them.  Default: the platform default.
+
+    Examples
+    --------
+    >>> from repro.graphs import grid_2d
+    >>> from repro.runtime import DecompositionPool
+    >>> with DecompositionPool(grid_2d(12, 12)) as pool:
+    ...     result = pool.decompose("0", beta=0.2, seed=7)
+    >>> result.decomposition.num_pieces > 1
+    True
+    """
+
+    def __init__(
+        self,
+        graphs: CSRGraph | Sequence[CSRGraph] | Mapping[str, CSRGraph],
+        *,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self._graphs = _normalise_graph_map(graphs)
+        self._shared: dict[str, SharedCSR] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        try:
+            for key, graph in self._graphs.items():
+                self._shared[key] = share_graph(graph)
+            descriptors = {
+                key: shared.descriptor
+                for key, shared in self._shared.items()
+            }
+            workers = (
+                max_workers if max_workers is not None
+                else (os.cpu_count() or 1)
+            )
+            if workers < 1:
+                raise ParameterError(
+                    f"max_workers must be >= 1, got {max_workers}"
+                )
+            self._max_workers = int(workers)
+            mp_context = None
+            if start_method is not None:
+                import multiprocessing
+
+                mp_context = multiprocessing.get_context(start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=int(workers),
+                mp_context=mp_context,
+                initializer=_attach_worker,
+                initargs=(descriptors,),
+            )
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph_keys(self) -> tuple[str, ...]:
+        """Keys of the registered graphs, in registration order."""
+        return tuple(self._graphs)
+
+    def graph(self, graph_key: str) -> CSRGraph:
+        """The parent-side graph registered under ``graph_key``."""
+        return self._graphs[self._check_key(graph_key)]
+
+    def shared_nbytes(self) -> int:
+        """Total graph bytes resident in shared memory."""
+        return sum(shared.nbytes() for shared in self._shared.values())
+
+    @property
+    def closed(self) -> bool:
+        return self._pool is None
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        graph_key: str,
+        beta: float,
+        *,
+        method: str = "auto",
+        seed: int | None = None,
+        validate: bool = False,
+        **options: object,
+    ) -> "Future[PartitionResult]":
+        """Enqueue one decomposition; returns a future of the full result.
+
+        The configuration is validated here, parent-side — an unknown graph
+        key, method or option raises immediately with the registry's
+        message instead of surfacing from a worker.
+        """
+        if self._pool is None:
+            raise ParameterError("DecompositionPool is shut down")
+        graph = self._graphs[self._check_key(graph_key)]
+        _resolve(graph, method).bind(options)
+        raw = self._pool.submit(
+            _execute_request,
+            (graph_key, beta, method, seed, validate, dict(options)),
+        )
+        return _chain_future(raw, lambda slim: _rehydrate_result(graph, slim))
+
+    def decompose(
+        self,
+        graph_key: str,
+        beta: float,
+        *,
+        method: str = "auto",
+        seed: int | None = None,
+        validate: bool = False,
+        **options: object,
+    ) -> PartitionResult:
+        """Synchronous :meth:`submit` — one request, one result."""
+        return self.submit(
+            graph_key,
+            beta,
+            method=method,
+            seed=seed,
+            validate=validate,
+            **options,
+        ).result()
+
+    def run(
+        self,
+        requests: Iterable[DecompositionRequest],
+        *,
+        chunksize: int | None = None,
+    ) -> list[PartitionResult]:
+        """Stream a batch of requests; results come back in request order.
+
+        Unlike per-request :meth:`submit`, a batch is shipped ``chunksize``
+        requests per pool message (default: ~4 chunks per worker), which
+        amortises dispatch overhead when requests are much cheaper than
+        the decompositions — the common serving shape.  Results are
+        identical either way; only transport granularity changes.
+        """
+        if self._pool is None:
+            raise ParameterError("DecompositionPool is shut down")
+        request_list = list(requests)
+        payloads = []
+        for req in request_list:
+            graph = self._graphs[self._check_key(req.graph_key)]
+            options = dict(req.options)
+            _resolve(graph, req.method).bind(options)
+            payloads.append(
+                (req.graph_key, req.beta, req.method, req.seed,
+                 req.validate, options)
+            )
+        if not payloads:
+            return []
+        if chunksize is None:
+            # Enough chunks that workers stay busy, few enough that
+            # dispatch stays off the profile.
+            chunksize = max(1, len(payloads) // (4 * self._max_workers))
+        slim_results = self._pool.map(
+            _execute_request, payloads, chunksize=int(chunksize)
+        )
+        return [
+            _rehydrate_result(self._graphs[req.graph_key], slim)
+            for req, slim in zip(request_list, slim_results)
+        ]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop the workers and unlink every shared segment (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+        shared, self._shared = self._shared, {}
+        for wrapper in shared.values():
+            wrapper.close()
+
+    def __enter__(self) -> "DecompositionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{len(self._graphs)} graph(s)"
+        return f"DecompositionPool({state})"
+
+    def _check_key(self, graph_key: str) -> str:
+        if graph_key not in self._graphs:
+            raise ParameterError(
+                f"unknown graph key {graph_key!r}; "
+                f"registered keys: {sorted(self._graphs)}"
+            )
+        return graph_key
+
+
+def _normalise_graph_map(graphs) -> dict[str, CSRGraph]:
+    if isinstance(graphs, CSRGraph):
+        graphs = {"0": graphs}
+    elif isinstance(graphs, Mapping):
+        graphs = dict(graphs)
+    else:
+        graphs = {str(i): g for i, g in enumerate(graphs)}
+    if not graphs:
+        raise ParameterError("need at least one graph")
+    for key, graph in graphs.items():
+        if not isinstance(key, str):
+            raise ParameterError(
+                f"graph keys must be strings, got {type(key).__name__}"
+            )
+        if not isinstance(graph, CSRGraph):
+            raise ParameterError(
+                f"graph {key!r} is not a CSRGraph: {type(graph).__name__}"
+            )
+    return graphs
+
+
+def _chain_future(raw: Future, transform) -> Future:
+    """A future resolving to ``transform(raw.result())``.
+
+    Keeps :meth:`DecompositionPool.submit` returning plain
+    ``concurrent.futures.Future`` objects while rehydration happens lazily
+    on the parent side (in the callback thread that completes ``raw``).
+    """
+    out: Future = Future()
+
+    def _complete(done: Future) -> None:
+        # The caller may have cancelled the chained future while the raw
+        # task kept running; claim it (PENDING -> RUNNING) before setting
+        # anything, and drop the result if the claim fails.
+        if not out.set_running_or_notify_cancel():
+            return
+        if done.cancelled():
+            out.set_exception(CancelledError())
+            return
+        exc = done.exception()
+        if exc is not None:
+            out.set_exception(exc)
+            return
+        try:
+            out.set_result(transform(done.result()))
+        except BaseException as err:  # rehydration failure
+            out.set_exception(err)
+
+    raw.add_done_callback(_complete)
+    return out

@@ -1,0 +1,312 @@
+"""Shared-memory graph segments — load a CSR graph once, attach anywhere.
+
+The batch runtime's premise (following Ceccarello et al.'s space-efficient
+decomposition engines) is that the graph is the big immutable input and the
+requests are tiny: a worker should never receive the graph through a pickle
+stream, it should *attach* to the one copy the parent placed in
+``multiprocessing.shared_memory``.
+
+:class:`SharedCSR` (and :class:`SharedWeightedCSR`) own one shared-memory
+segment laid out as the concatenation of the graph's defining arrays (the
+:meth:`~repro.graphs.csr.CSRGraph.csr_arrays` contract: ``indptr``,
+``indices``, and ``weights`` for weighted graphs).  The picklable
+:class:`SharedGraphDescriptor` carries only the segment name plus per-array
+offset/shape/dtype metadata — a few hundred bytes regardless of graph size —
+and :func:`attach_shared` rebuilds a fully functional graph in a worker as
+NumPy views straight into the mapped segment, copying nothing.
+
+Lifecycle: the creating process owns the segment and must :meth:`unlink
+<SharedCSR.unlink>` it (``close()`` does both for owners; both classes are
+context managers).  Attached wrappers close their mapping only — unlinking
+is the owner's job, and attachment bypasses the ``resource_tracker``
+registration so a worker exiting never destroys a segment the parent still
+serves (see :func:`_attach_existing` for the bpo-39959 story).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.weighted import WeightedCSRGraph
+
+__all__ = [
+    "ArraySpec",
+    "SharedGraphDescriptor",
+    "SharedCSR",
+    "SharedWeightedCSR",
+    "share_graph",
+    "attach_shared",
+]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one defining array inside the shared segment."""
+
+    name: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    def view(self, buf) -> np.ndarray:
+        """A zero-copy NumPy view of this array over the mapped buffer."""
+        count = int(np.prod(self.shape)) if self.shape else 1
+        return np.frombuffer(
+            buf, dtype=np.dtype(self.dtype), count=count, offset=self.offset
+        ).reshape(self.shape)
+
+
+@dataclass(frozen=True)
+class SharedGraphDescriptor:
+    """Everything a worker needs to reattach a shared graph.
+
+    Picklable and tiny: the segment *name* (not its contents), the graph
+    class (pickled by reference), and the array layout.  ``nbytes`` lets
+    attachment fail fast with a clear message when the segment was unlinked
+    or truncated underneath us.
+    """
+
+    segment: str
+    graph_type: type
+    arrays: tuple[ArraySpec, ...]
+    nbytes: int
+
+    @property
+    def weighted(self) -> bool:
+        return issubclass(self.graph_type, WeightedCSRGraph)
+
+
+#: Serialises every SharedMemory construction in this module: attaching
+#: suppresses the process-global ``resource_tracker.register`` for the
+#: duration of the call, so a *creation* must never overlap that window
+#: (its registration would be swallowed and the segment could leak).
+_TRACKER_LOCK = threading.Lock()
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    """Allocate a fresh segment, registration guaranteed to be seen."""
+    with _TRACKER_LOCK:
+        return shared_memory.SharedMemory(create=True, size=size)
+
+
+def _attach_existing(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment *without* registering it for cleanup.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker even on attach (bpo-39959, fixed only by 3.13's ``track=False``,
+    above this repo's 3.10–3.12 floor).  That is wrong for both start
+    methods: under ``spawn`` the worker's own tracker unlinks the segment
+    when the worker exits, destroying it under the owner; under ``fork``
+    an ``unregister``-after-attach workaround would instead erase the
+    *owner's* entry in the shared tracker (its cache is a set, not a
+    refcount).  Suppressing registration during the attach call is the one
+    behaviour correct everywhere: the creator remains the sole registrant.
+    """
+    if sys.version_info >= (3, 13):  # pragma: no cover - 3.10-3.12 floor
+        return shared_memory.SharedMemory(name=name, track=False)
+
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedCSR:
+    """A CSR graph resident in one shared-memory segment.
+
+    Construct with :meth:`create` (owner side) or :meth:`attach` (worker
+    side); :attr:`graph` is a regular :class:`~repro.graphs.csr.CSRGraph`
+    whose arrays are views into the segment, so every algorithm in the
+    library runs on it unchanged.
+    """
+
+    #: Graph class this wrapper shares; the weighted subclass overrides it.
+    graph_type: type = CSRGraph
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        descriptor: SharedGraphDescriptor,
+        graph: CSRGraph,
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self._descriptor = descriptor
+        self._graph = graph
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, graph: CSRGraph) -> "SharedCSR":
+        """Copy ``graph``'s arrays into a fresh shared segment (owner side)."""
+        if not isinstance(graph, cls.graph_type):
+            raise ParameterError(
+                f"{cls.__name__} shares {cls.graph_type.__name__} instances, "
+                f"got {type(graph).__name__}"
+            )
+        arrays = graph.csr_arrays()
+        total = sum(arr.nbytes for arr in arrays.values())
+        # Zero-size segments are rejected by the OS; a 0-vertex graph still
+        # has the one-element indptr, so total >= 8, but guard anyway.
+        shm = _create_segment(max(total, 1))
+        specs: list[ArraySpec] = []
+        offset = 0
+        views: dict[str, np.ndarray] = {}
+        for name, arr in arrays.items():
+            spec = ArraySpec(
+                name=name,
+                offset=offset,
+                shape=tuple(arr.shape),
+                dtype=arr.dtype.str,
+            )
+            view = spec.view(shm.buf)
+            view[...] = arr
+            views[name] = view
+            specs.append(spec)
+            offset += arr.nbytes
+        descriptor = SharedGraphDescriptor(
+            segment=shm.name,
+            graph_type=type(graph),
+            arrays=tuple(specs),
+            nbytes=total,
+        )
+        shared_graph = type(graph).from_arrays(views, validate=False)
+        return cls(shm, descriptor, shared_graph, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor: SharedGraphDescriptor) -> "SharedCSR":
+        """Map an existing segment and rebuild the graph zero-copy."""
+        try:
+            shm = _attach_existing(descriptor.segment)
+        except FileNotFoundError:
+            raise ParameterError(
+                f"shared graph segment {descriptor.segment!r} does not "
+                "exist (was the owning SharedCSR closed?)"
+            ) from None
+        if shm.size < descriptor.nbytes:
+            shm.close()
+            raise ParameterError(
+                f"shared graph segment {descriptor.segment!r} holds "
+                f"{shm.size} bytes but the descriptor expects "
+                f"{descriptor.nbytes}"
+            )
+        views = {spec.name: spec.view(shm.buf) for spec in descriptor.arrays}
+        graph = descriptor.graph_type.from_arrays(views, validate=False)
+        return cls(shm, descriptor, graph, owner=False)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        """The shared graph (arrays are views into the segment)."""
+        if self._shm is None:
+            raise ParameterError("shared graph is closed")
+        return self._graph
+
+    @property
+    def descriptor(self) -> SharedGraphDescriptor:
+        """Picklable reattachment token for worker processes."""
+        return self._descriptor
+
+    @property
+    def owner(self) -> bool:
+        """Whether this wrapper created (and must unlink) the segment."""
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def nbytes(self) -> int:
+        """Bytes of graph data resident in the segment."""
+        return self._descriptor.nbytes
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping; owners also unlink the segment.
+
+        Idempotent.  NumPy views into the segment (including the wrapper's
+        own graph) become invalid after this.
+        """
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        # Release the graph's views first: SharedMemory.close() cannot
+        # unmap while exported buffers are alive.
+        self._graph = None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a caller kept a view alive
+            pass
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def unlink(self) -> None:
+        """Owner-side close-and-destroy (alias for :meth:`close`)."""
+        if not self._owner:
+            raise ParameterError(
+                "only the owning SharedCSR may unlink its segment"
+            )
+        self.close()
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"segment={self._descriptor.segment!r}"
+        role = "owner" if self._owner else "attached"
+        return (
+            f"{type(self).__name__}({state}, {role}, "
+            f"nbytes={self._descriptor.nbytes})"
+        )
+
+
+class SharedWeightedCSR(SharedCSR):
+    """Weighted variant: shares ``weights`` alongside the topology."""
+
+    graph_type = WeightedCSRGraph
+
+
+def share_graph(graph: CSRGraph) -> SharedCSR:
+    """Place any supported graph in shared memory (owner side).
+
+    Picks :class:`SharedWeightedCSR` for weighted inputs, :class:`SharedCSR`
+    otherwise — the factory the pool uses so callers never dispatch by hand.
+    """
+    if isinstance(graph, WeightedCSRGraph):
+        return SharedWeightedCSR.create(graph)
+    if isinstance(graph, CSRGraph):
+        return SharedCSR.create(graph)
+    raise ParameterError(
+        f"expected a CSRGraph or WeightedCSRGraph, got {type(graph).__name__}"
+    )
+
+
+def attach_shared(descriptor: SharedGraphDescriptor) -> SharedCSR:
+    """Attach to a shared graph from its descriptor (worker side)."""
+    cls = SharedWeightedCSR if descriptor.weighted else SharedCSR
+    return cls.attach(descriptor)

@@ -41,6 +41,38 @@ class TestResolveClaims:
         np.testing.assert_array_equal(winners, [0, 1])
         np.testing.assert_array_equal(owners, [0, 1])
 
+    def test_non_finite_inputs_rejected(self):
+        """NaN start times / tie keys must fail fast: NaN slips past
+        ordinary `< 0` guards and would diverge the two resolve paths."""
+        g = path_graph(4)
+        bad_start = np.asarray([0.0, np.nan, 0.5, 1.0])
+        with pytest.raises(ParameterError, match="finite"):
+            delayed_multisource_bfs(g, bad_start)
+        with pytest.raises(ParameterError, match="finite"):
+            delayed_multisource_bfs(g, np.full(4, np.inf))
+        ok_start = np.asarray([0.0, 0.25, 0.5, 1.0])
+        with pytest.raises(ParameterError, match="finite"):
+            delayed_multisource_bfs(
+                g, ok_start, tie_key=np.asarray([0.1, np.nan, 0.2, 0.3])
+            )
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_scatter_path_matches_semisort_path(self, trial):
+        """The O(C + n) scatter implementation must pick bit-identical
+        winners to the lexsort semisort for the same candidate multiset,
+        including exact key ties resolved by center id."""
+        rng = np.random.default_rng(trial)
+        n = 50
+        count = 3000  # >> n and > the 1024 floor: forces the scatter path
+        cand_v = rng.integers(0, n, count)
+        cand_c = rng.integers(0, n, count)
+        # Coarse keys make exact ties common, exercising the fallback rule.
+        key = rng.integers(0, 4, n) / 4.0
+        semisort = resolve_claims(cand_v, cand_c, key)
+        scatter = resolve_claims(cand_v, cand_c, key, num_vertices=n)
+        np.testing.assert_array_equal(semisort[0], scatter[0])
+        np.testing.assert_array_equal(semisort[1], scatter[1])
+
 
 class TestDelayedBFSBasics:
     def test_single_early_riser_claims_everything(self):

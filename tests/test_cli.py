@@ -152,3 +152,54 @@ class TestMethods:
         assert main(["methods"]) == 0
         out = capsys.readouterr().out
         assert "bfs" in out and "blelloch" in out and "grid" in out
+
+
+class TestBenchThroughput:
+    ARGS = [
+        "bench-throughput", "--graph", "grid:8x8", "--beta", "0.3",
+        "--requests", "2", "--executors", "serial,shared", "--workers", "1",
+    ]
+
+    def test_table_reports_identical_assignments(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "assignments identical across executors: yes" in out
+
+    def test_json_output(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["identical_assignments"] is True
+        assert set(doc["executors"]) == {"serial", "shared"}
+        assert doc["executors"]["serial"]["requests_per_sec"] > 0
+
+    @pytest.mark.parametrize("json_flag", [[], ["--json"]])
+    def test_divergent_digests_exit_nonzero(
+        self, monkeypatch, capsys, json_flag
+    ):
+        """A determinism regression must fail the command in BOTH output
+        modes — CI's conformance smoke uses --json."""
+        import repro.runtime.throughput as throughput_mod
+        from repro.runtime.throughput import ThroughputRecord
+
+        def fake_measure(*args, **kwargs):
+            return {
+                name: ThroughputRecord(
+                    executor=name, num_requests=2, seconds=1.0,
+                    requests_per_sec=2.0, assignments_digest=digest,
+                )
+                for name, digest in (("serial", "aaa"), ("shared", "bbb"))
+            }
+
+        monkeypatch.setattr(
+            throughput_mod, "measure_throughput", fake_measure
+        )
+        assert main(self.ARGS + json_flag) == 1
+
+    def test_unknown_executor_is_cli_error(self, capsys):
+        code = main(
+            ["bench-throughput", "--graph", "grid:5x5", "--beta", "0.3",
+             "--executors", "warp"]
+        )
+        assert code == 2
+        assert "unknown throughput executor" in capsys.readouterr().err

@@ -1,0 +1,143 @@
+"""Differential conformance: serial ≡ pooled ≡ shared-memory runtime.
+
+The batch runtime's core guarantee is that *where* a decomposition runs
+never changes *what* it computes: for every registered method, seed and
+graph family, the serial ``decompose()``, the legacy pickling pool
+(``decompose_many(executor="process")``) and the shared-memory runtime
+(``executor="shared"`` / ``DecompositionPool``) must produce bit-identical
+assignment arrays.  Any drift — a worker sampling shifts from a different
+stream, a shared-memory view changing dtype or layout, a slim-result
+rehydration bug — fails here first.
+
+The suite runs every unweighted method over several families and seeds and
+the weighted methods over weighted lifts of the same families, comparing
+``center`` plus ``hops`` (unweighted) / ``radius`` (weighted) exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import decompose, decompose_many
+from repro.core.registry import method_names
+from repro.core.weighted import WeightedDecomposition
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+)
+from repro.graphs.weighted import weights_by_name
+from repro.runtime import DecompositionPool, DecompositionRequest
+
+SEEDS = (0, 3, 11)
+BETA = 0.3
+
+#: name -> unweighted graph; small but structurally diverse (grid structure,
+#: the path worst case, a cycle, and a sparse possibly-disconnected ER).
+FAMILIES = {
+    "grid": grid_2d(8, 8),
+    "path": path_graph(40),
+    "cycle": cycle_graph(30),
+    "er": erdos_renyi(60, 0.08, seed=1),
+}
+
+#: Weighted lifts of the same families for the weighted methods.
+WEIGHTED_FAMILIES = {
+    name: weights_by_name(graph, "uniform:0.5,2.0", seed=7)
+    for name, graph in FAMILIES.items()
+}
+
+
+def _assignments(result):
+    """The exact arrays conformance is defined over."""
+    decomposition = result.decomposition
+    if isinstance(decomposition, WeightedDecomposition):
+        return decomposition.center, decomposition.radius
+    return decomposition.center, decomposition.hops
+
+
+def _assert_identical(result_a, result_b, context: str):
+    center_a, extra_a = _assignments(result_a)
+    center_b, extra_b = _assignments(result_b)
+    np.testing.assert_array_equal(center_a, center_b, err_msg=context)
+    np.testing.assert_array_equal(extra_a, extra_b, err_msg=context)
+    assert result_a.trace.method == result_b.trace.method, context
+
+
+def _conformance_for(graphs: dict, method: str):
+    """serial vs process-pool vs shared runtime over families × SEEDS."""
+    graph_list = list(graphs.values())
+    names = list(graphs)
+    serial = decompose_many(
+        graph_list, BETA, method=method, seeds=SEEDS, executor="serial"
+    )
+    pooled = decompose_many(
+        graph_list, BETA, method=method, seeds=SEEDS,
+        executor="process", max_workers=2,
+    )
+    shared = decompose_many(
+        graph_list, BETA, method=method, seeds=SEEDS,
+        executor="shared", max_workers=2,
+    )
+    for srun, prun, hrun in zip(serial.runs, pooled.runs, shared.runs):
+        assert (srun.graph_index, srun.seed) == (prun.graph_index, prun.seed)
+        assert (srun.graph_index, srun.seed) == (hrun.graph_index, hrun.seed)
+        context = (
+            f"method={method} family={names[srun.graph_index]} "
+            f"seed={srun.seed}"
+        )
+        _assert_identical(
+            srun.result, prun.result, f"{context} [process pool]"
+        )
+        _assert_identical(
+            srun.result, hrun.result, f"{context} [shared runtime]"
+        )
+
+
+@pytest.mark.parametrize("method", method_names("unweighted"))
+def test_unweighted_methods_conform(method):
+    _conformance_for(FAMILIES, method)
+
+
+@pytest.mark.parametrize("method", method_names("weighted"))
+def test_weighted_methods_conform(method):
+    _conformance_for(WEIGHTED_FAMILIES, method)
+
+
+def test_direct_pool_conforms_with_serial_across_methods():
+    """The DecompositionPool API itself (not just the engine wrapper):
+    one persistent pool serving every family, every method, every seed."""
+    with DecompositionPool(FAMILIES, max_workers=2) as pool:
+        requests = [
+            DecompositionRequest(
+                graph_key=name, beta=BETA, method=method, seed=seed
+            )
+            for name in FAMILIES
+            for method in method_names("unweighted")
+            for seed in SEEDS[:2]
+        ]
+        results = pool.run(requests)
+    for req, result in zip(requests, results):
+        serial = decompose(
+            FAMILIES[req.graph_key], BETA, method=req.method, seed=req.seed
+        )
+        _assert_identical(
+            result,
+            serial,
+            f"pool method={req.method} family={req.graph_key} "
+            f"seed={req.seed}",
+        )
+
+
+def test_validation_reports_survive_the_pool():
+    """validate=True reports computed in workers equal serial ones."""
+    serial = decompose(FAMILIES["grid"], BETA, seed=2, validate=True)
+    batch = decompose_many(
+        FAMILIES["grid"], BETA, seeds=[2], validate=True,
+        executor="shared", max_workers=1,
+    )
+    report = batch.runs[0].result.report
+    assert report is not None
+    assert report == serial.report

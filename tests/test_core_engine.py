@@ -113,6 +113,7 @@ class TestWeightedThroughEngine:
         assert res.report.radius_within_certificate is None
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestFacadeCompatibility:
     def test_partition_matches_decompose(self):
         g = grid_2d(10, 10)

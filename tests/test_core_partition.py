@@ -114,7 +114,14 @@ class TestBFSExactEquivalence:
         assert verify_decomposition(d).all_invariants_hold()
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestFacade:
+    """The deprecated partition() facade keeps its historical behaviour.
+
+    The facade warns on every call (asserted in TestFacadeDeprecation);
+    these tests filter the warning to check behaviour in isolation.
+    """
+
     @pytest.mark.parametrize("method", sorted(PARTITION_METHODS))
     def test_every_method_produces_valid_output(self, method):
         g = grid_2d(8, 8)
@@ -135,6 +142,31 @@ class TestFacade:
 
     def test_validate_off_by_default(self, small_grid):
         assert partition(small_grid, 0.4, seed=13).report is None
+
+
+class TestFacadeDeprecation:
+    def test_partition_emits_deprecation_warning(self, small_grid):
+        with pytest.warns(DeprecationWarning, match="decompose"):
+            partition(small_grid, 0.3, seed=4)
+
+    def test_warned_result_identical_to_decompose(self, small_grid):
+        from repro.core.engine import decompose
+
+        with pytest.warns(DeprecationWarning):
+            old = partition(
+                small_grid, 0.3, method="bfs", seed=4, validate=True
+            )
+        new = decompose(
+            small_grid, 0.3, method="bfs", seed=4, validate=True
+        )
+        np.testing.assert_array_equal(
+            old.decomposition.center, new.decomposition.center
+        )
+        np.testing.assert_array_equal(
+            old.decomposition.hops, new.decomposition.hops
+        )
+        assert old.summary() == new.summary()
+        assert old.report == new.report
 
 
 class TestStructuralExtremes:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.partition import partition
+from repro.core.engine import decompose
 from repro.core.shifts import sample_shifts
 from repro.core.verify import verify_decomposition
 from repro.graphs.generators import erdos_renyi, grid_2d
@@ -49,13 +49,13 @@ class TestQuantileShifts:
 class TestQuantilePartition:
     def test_valid_partition(self):
         g = grid_2d(15, 15)
-        result = partition(g, 0.2, method="quantile", seed=6, validate=True)
+        result = decompose(g, 0.2, method="quantile", seed=6, validate=True)
         assert result.report.all_invariants_hold()
         assert result.trace.method == "bfs-quantile"
 
     def test_radius_certificate_still_holds(self):
         g = erdos_renyi(120, 0.04, seed=7)
-        result = partition(g, 0.3, method="quantile", seed=8)
+        result = decompose(g, 0.3, method="quantile", seed=8)
         assert result.decomposition.max_radius() <= result.trace.delta_max
 
     def test_statistics_comparable_to_iid_exponential(self):
@@ -65,11 +65,11 @@ class TestQuantilePartition:
         g = grid_2d(30, 30)
         beta = 0.1
         iid = [
-            partition(g, beta, method="bfs", seed=s).decomposition.cut_fraction()
+            decompose(g, beta, method="bfs", seed=s).decomposition.cut_fraction()
             for s in range(8)
         ]
         qtl = [
-            partition(
+            decompose(
                 g, beta, method="quantile", seed=s
             ).decomposition.cut_fraction()
             for s in range(8)

@@ -24,26 +24,26 @@ class TestErrorHierarchy:
         assert issubclass(ParameterError, ValueError)
 
     def test_single_catch_at_api_boundary(self):
-        from repro.core.partition import partition
+        from repro.core.engine import decompose
         from repro.graphs.generators import grid_2d
 
         with pytest.raises(ReproError):
-            partition(grid_2d(3, 3), beta=-1.0)
+            decompose(grid_2d(3, 3), beta=-1.0)
         with pytest.raises(ReproError):
-            partition(grid_2d(3, 3), beta=0.5, method="bogus")
+            decompose(grid_2d(3, 3), beta=0.5, method="bogus")
 
 
 class TestCrossModuleEdgeCases:
     def test_two_vertex_graph_full_pipeline(self):
         """The smallest non-trivial graph must survive the whole stack."""
-        from repro.core.partition import partition
+        from repro.core.engine import decompose
         from repro.graphs.build import from_edges
         from repro.lowstretch.akpw import akpw_spanning_tree
         from repro.solvers.solver import LaplacianSolver
         from repro.solvers.laplacian import random_zero_sum_rhs
 
         g = from_edges(2, [(0, 1)])
-        result = partition(g, 0.5, seed=0, validate=True)
+        result = decompose(g, 0.5, seed=0, validate=True)
         assert result.report.all_invariants_hold()
         tree = akpw_spanning_tree(g, seed=1)
         assert tree.forest.num_edges() == 1
@@ -52,12 +52,13 @@ class TestCrossModuleEdgeCases:
         assert res.converged
 
     def test_star_graph_all_methods(self):
-        from repro.core.partition import PARTITION_METHODS, partition
+        from repro.core.engine import decompose
+        from repro.core.registry import PARTITION_METHODS
         from repro.graphs.generators import star_graph
 
         g = star_graph(25)
         for method in PARTITION_METHODS:
-            result = partition(g, 0.4, method=method, seed=4, validate=True)
+            result = decompose(g, 0.4, method=method, seed=4, validate=True)
             assert result.report.all_invariants_hold(), method
 
     def test_beta_extremes(self):
@@ -77,13 +78,13 @@ class TestCrossModuleEdgeCases:
         verify_decomposition(d_lo)
 
     def test_large_sparse_disconnected_pipeline(self):
-        from repro.core.partition import partition
+        from repro.core.engine import decompose
         from repro.graphs.generators import erdos_renyi
         from repro.graphs.ops import num_components
 
         g = erdos_renyi(400, 0.003, seed=6)  # heavily disconnected
         assert num_components(g) > 1
-        result = partition(g, 0.3, seed=7, validate=True)
+        result = decompose(g, 0.3, seed=7, validate=True)
         assert result.report.all_invariants_hold()
         # Pieces never span components.
         from repro.graphs.ops import connected_components

@@ -1,0 +1,151 @@
+"""Property-based fuzz: every generator family × engine invariants.
+
+Hypothesis draws a graph family from *every* registered generator (with
+family-appropriate parameters), a β, a method and a seed, and asserts the
+engine-level contract on the result:
+
+- ``verify_decomposition`` deterministic invariants hold (total partition,
+  connected pieces, hop consistency) for every method on every family;
+- piece radii respect the empirical ``O(log n / β)`` bound — checked
+  against the Lemma 4.2 tail bound ``(d+1)·ln n / β`` at ``d = 3``, whose
+  failure probability ``n^{-3}`` is negligible even over thousands of
+  drawn examples, plus the shift certificate ``δ_max`` when the method
+  records one.
+
+``derandomize=True`` keeps the drawn (graph, seed) pairs fixed from run to
+run — the bound is probabilistic over seeds, so CI must replay the same
+seeds rather than gamble on fresh ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import decompose
+from repro.core.theory import whp_radius_bound
+from repro.graphs.generators import (
+    GENERATORS,
+    barabasi_albert,
+    binary_tree,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    grid_3d,
+    hypercube,
+    path_graph,
+    random_regular,
+    star_graph,
+    stochastic_block_model,
+    torus_2d,
+)
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Hop-count methods whose radius the log n / β bound is stated for.
+RADIUS_METHODS = ("bfs", "permutation", "exact")
+
+
+@st.composite
+def generated_graphs(draw):
+    """A graph drawn from a random generator family with valid parameters."""
+    family = draw(st.sampled_from(sorted(GENERATORS)))
+    seed = draw(st.integers(0, 2**16))
+    if family == "path":
+        return path_graph(draw(st.integers(2, 60)))
+    if family == "cycle":
+        return cycle_graph(draw(st.integers(3, 60)))
+    if family == "complete":
+        return complete_graph(draw(st.integers(2, 16)))
+    if family == "star":
+        return star_graph(draw(st.integers(2, 40)))
+    if family == "grid":
+        return grid_2d(draw(st.integers(2, 8)), draw(st.integers(2, 8)))
+    if family == "torus":
+        return torus_2d(draw(st.integers(3, 8)), draw(st.integers(3, 8)))
+    if family == "grid3d":
+        return grid_3d(
+            draw(st.integers(2, 4)),
+            draw(st.integers(2, 4)),
+            draw(st.integers(2, 4)),
+        )
+    if family == "btree":
+        return binary_tree(draw(st.integers(1, 5)))
+    if family == "caterpillar":
+        return caterpillar(
+            draw(st.integers(2, 12)), draw(st.integers(1, 4))
+        )
+    if family == "hypercube":
+        return hypercube(draw(st.integers(1, 6)))
+    if family == "er":
+        return erdos_renyi(
+            draw(st.integers(2, 50)),
+            draw(st.floats(0.02, 0.5)),
+            seed=seed,
+        )
+    if family == "regular":
+        n = draw(st.integers(4, 30))
+        d = draw(st.integers(2, min(5, n - 1)))
+        if (n * d) % 2:
+            n += 1
+        return random_regular(n, d, seed=seed)
+    if family == "ba":
+        n = draw(st.integers(3, 40))
+        return barabasi_albert(n, draw(st.integers(1, min(3, n - 1))), seed=seed)
+    if family == "sbm":
+        k = draw(st.integers(2, 4))
+        sizes = [draw(st.integers(3, 10)) for _ in range(k)]
+        return stochastic_block_model(
+            sizes, p_in=0.6, p_out=0.05, seed=seed
+        )
+    raise AssertionError(f"strategy missing for generator {family!r}")
+
+
+@COMMON
+@given(
+    graph=generated_graphs(),
+    beta=st.floats(0.05, 0.9),
+    seed=st.integers(0, 2**31 - 1),
+    method=st.sampled_from(("bfs", "permutation", "exact", "sequential")),
+)
+def test_engine_invariants_on_all_families(graph, beta, seed, method):
+    """Every family × method: the deterministic invariants must hold."""
+    result = decompose(graph, beta, method=method, seed=seed, validate=True)
+    assert result.report is not None
+    assert result.report.all_invariants_hold()
+    labels = result.decomposition.labels
+    assert labels.shape[0] == graph.num_vertices
+    assert np.all(labels >= 0)
+
+
+@COMMON
+@given(
+    graph=generated_graphs(),
+    beta=st.floats(0.1, 0.9),
+    seed=st.integers(0, 2**31 - 1),
+    method=st.sampled_from(RADIUS_METHODS),
+)
+def test_empirical_radius_bound_on_all_families(graph, beta, seed, method):
+    """Radii stay within the Lemma 4.2 tail bound (d=3) and within δ_max."""
+    result = decompose(graph, beta, method=method, seed=seed)
+    n = graph.num_vertices
+    radius = result.decomposition.max_radius()
+    bound = whp_radius_bound(max(n, 2), beta, d=3.0)
+    assert radius <= bound + 1, (
+        f"radius {radius} exceeds O(log n / beta) bound {bound:.2f} "
+        f"(n={n}, beta={beta}, method={method})"
+    )
+    delta_max = result.trace.delta_max
+    if not math.isnan(delta_max):
+        # The shift certificate is the sharper per-run bound.
+        assert radius <= delta_max + 1e-9

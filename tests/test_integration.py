@@ -7,7 +7,7 @@ import pytest
 
 from repro.blockdecomp import block_decomposition
 from repro.core import (
-    partition,
+    decompose,
     sample_shifts,
     partition_bfs_with_shifts,
     verify_decomposition,
@@ -33,7 +33,7 @@ class TestDecomposeThenConsume:
     @pytest.fixture(scope="class")
     def workload(self):
         graph = grid_2d(18, 18)
-        result = partition(graph, 0.2, seed=7, validate=True)
+        result = decompose(graph, 0.2, seed=7, validate=True)
         return graph, result
 
     def test_decomposition_valid(self, workload):
@@ -85,7 +85,7 @@ class TestCrossFamilyPipelines:
     def test_full_stack_on_family(self, graph_fn):
         graph = graph_fn()
         # 1. decompose + verify
-        result = partition(graph, 0.25, seed=5, validate=True)
+        result = decompose(graph, 0.25, seed=5, validate=True)
         assert result.report.all_invariants_hold()
         # 2. low-stretch tree + stretch
         tree = akpw_spanning_tree(graph, beta=0.4, seed=6)
@@ -105,7 +105,7 @@ class TestCrossFamilyPipelines:
         assert bd.block_edge_counts().sum() == graph.num_edges
         # The first (largest) block is itself decomposable.
         sub = bd.block_subgraph(0)
-        result = partition(sub, 0.3, seed=10, validate=True)
+        result = decompose(sub, 0.3, seed=10, validate=True)
         assert result.report.all_invariants_hold()
 
     def test_hierarchy_embedding_pipeline(self):
@@ -137,7 +137,7 @@ class TestSeededDeterminismEndToEnd:
         graph = erdos_renyi(70, 0.07, seed=20)
 
         def run():
-            result = partition(graph, 0.2, seed=21)
+            result = decompose(graph, 0.2, seed=21)
             tree = akpw_spanning_tree(graph, beta=0.5, seed=22)
             return (
                 result.decomposition.center.tolist(),
