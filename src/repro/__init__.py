@@ -29,6 +29,19 @@ workers (``decompose_many(..., executor="shared")`` routes through it)::
     with DecompositionPool(grid_2d(100, 100)) as pool:
         result = pool.decompose("0", beta=0.05, seed=0)
 
+Long-lived workloads go one layer up: the decomposition service
+(:mod:`repro.serve`, CLI ``repro serve`` / ``repro request``) fronts a
+pool with a content-addressed graph store, a memoizing result cache
+(decompositions are derandomized, so warm hits are byte-identical), and
+in-flight request coalescing::
+
+    from repro.serve import ServeClient, serve_background
+
+    with serve_background(max_workers=4) as server:
+        with ServeClient(*server.address) as client:
+            digest = client.upload(grid_2d(100, 100))
+            result = client.decompose(digest, beta=0.05, seed=0)
+
 The older ``partition(graph, beta)`` facade still works but is deprecated
 (each call emits a ``DeprecationWarning``) — see
 :mod:`repro.core.partition` and CHANGES.md.
@@ -39,6 +52,8 @@ Package layout (see DESIGN.md for the full inventory):
   paper's algorithm and baselines, verification;
 - :mod:`repro.runtime` — the shared-memory batch runtime (resident graphs,
   persistent worker pools, throughput measurement);
+- :mod:`repro.serve` — the decomposition service over it (async TCP
+  server, content-addressed store, memoizing cache, blocking client);
 - :mod:`repro.graphs`, :mod:`repro.rng`, :mod:`repro.bfs`, :mod:`repro.pram`
   — the substrates it runs on;
 - :mod:`repro.lowstretch`, :mod:`repro.spanners`, :mod:`repro.embeddings`,

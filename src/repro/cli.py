@@ -19,9 +19,20 @@ Subcommands
     batch runtime and the pickling executors, printing requests/sec, the
     speedup over the baseline, and whether every strategy produced
     bit-identical assignments.
+``serve``
+    Run the decomposition service (:mod:`repro.serve`): an asyncio
+    JSON-over-TCP server with a content-addressed graph store, memoizing
+    result cache, and request coalescing.  ``--port 0`` picks a free port
+    (written to ``--port-file`` for scripts); ``--ttl`` arms the idle
+    shutdown watchdog.
+``request``
+    Drive a running server: upload a generated graph or graph file (or
+    reference an earlier upload by ``--digest``), request a decomposition,
+    or hit the ``--stats`` / ``--hello`` / ``--shutdown`` operations.
 ``methods``
     List registered decomposition methods (with their options), graph
-    generators and weight schemes.
+    generators and weight schemes; ``--json`` emits the machine-readable
+    registry dump the service's handshake advertises.
 """
 
 from __future__ import annotations
@@ -165,7 +176,125 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
-    sub.add_parser("methods", help="list methods, generators, weight schemes")
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the decomposition service (graph store + result cache)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    p_srv.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening (for scripts)",
+    )
+    p_srv.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="generator spec to preload (repeatable), e.g. grid:100x100",
+    )
+    p_srv.add_argument(
+        "--graph-file",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="graph file to preload (repeatable; format by extension)",
+    )
+    p_srv.add_argument("--seed", type=int, default=0,
+                       help="seed for --graph generation")
+    p_srv.add_argument(
+        "--weights",
+        default=None,
+        metavar="SPEC",
+        help="lift preloaded --graph specs to weighted edges",
+    )
+    p_srv.add_argument("--workers", type=int, default=None,
+                       help="decomposition pool width (default: CPU count)")
+    p_srv.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="result-cache byte budget (default: 256 MiB)",
+    )
+    p_srv.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="shut down after this many idle seconds (CI guard rail)",
+    )
+
+    p_req = sub.add_parser(
+        "request", help="send one request to a running decomposition server"
+    )
+    p_req.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="server address, e.g. 127.0.0.1:7077",
+    )
+    p_req.add_argument("--timeout", type=float, default=60.0)
+    action = p_req.add_mutually_exclusive_group()
+    action.add_argument(
+        "--stats", action="store_true", help="print server counters"
+    )
+    action.add_argument(
+        "--hello", action="store_true", help="print the handshake"
+    )
+    action.add_argument(
+        "--shutdown", action="store_true", help="stop the server"
+    )
+    p_req.add_argument(
+        "--digest", default=None, help="digest of an already-uploaded graph"
+    )
+    p_req.add_argument(
+        "--graph", default=None, help="generator spec to upload and use"
+    )
+    p_req.add_argument(
+        "--graph-file", default=None, help="graph file to upload and use"
+    )
+    p_req.add_argument("--beta", type=float, default=None)
+    p_req.add_argument(
+        "--seed", type=int, default=0, help="decomposition seed"
+    )
+    p_req.add_argument(
+        "--graph-seed",
+        type=int,
+        default=0,
+        help="seed for --graph generation (kept separate from --seed so "
+        "a decomposition-seed sweep reuses one uploaded graph)",
+    )
+    p_req.add_argument("--method", default="auto")
+    p_req.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="per-method option, validated against the server's registry "
+        "dump (repeatable)",
+    )
+    p_req.add_argument(
+        "--weights",
+        default=None,
+        metavar="SPEC",
+        help="lift the generated --graph to weighted edges before upload",
+    )
+    p_req.add_argument("--validate", action="store_true")
+    p_req.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    p_met = sub.add_parser(
+        "methods", help="list methods, generators, weight schemes"
+    )
+    p_met.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable registry dump (what the serve handshake "
+        "advertises)",
+    )
     return parser
 
 
@@ -183,8 +312,12 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "bench-throughput":
             return _cmd_bench_throughput(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "request":
+            return _cmd_request(args)
         if args.command == "methods":
-            return _cmd_methods()
+            return _cmd_methods(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -408,11 +541,211 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
-def _cmd_methods() -> int:
-    from repro.core.registry import iter_methods
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.graphs.generators import by_name
+    from repro.graphs.io import load_graph
+    from repro.graphs.weighted import weights_by_name
+    from repro.serve.cache import DEFAULT_MAX_BYTES
+    from repro.serve.server import DecompositionServer
+
+    graphs = []
+    for spec in args.graph:
+        graph = by_name(spec, seed=args.seed)
+        if args.weights:
+            graph = weights_by_name(graph, args.weights, seed=args.seed)
+        graphs.append(graph)
+    for path in args.graph_file:
+        graphs.append(load_graph(path))
+    cache_bytes = (
+        DEFAULT_MAX_BYTES if args.cache_bytes is None else args.cache_bytes
+    )
+    server = DecompositionServer(
+        graphs,
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        cache_bytes=cache_bytes,
+        idle_ttl=args.ttl,
+    )
+
+    def _announce() -> None:
+        host, port = server.address
+        print(f"repro.serve listening on {host}:{port}", flush=True)
+        for digest in server.preloaded:
+            print(f"preloaded graph {digest}", flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{port}\n")
+
+    try:
+        asyncio.run(server.run_async(ready=_announce))
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("interrupted; server stopped", file=sys.stderr)
+    return 0
+
+
+def _parse_connect(connect: str) -> tuple[str, int]:
+    from repro.errors import ParameterError
+
+    host, sep, port = connect.rpartition(":")
+    if not sep or not host:
+        raise ParameterError(
+            f"--connect expects HOST:PORT, got {connect!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ParameterError(
+            f"--connect port must be an integer, got {port!r}"
+        ) from None
+
+
+def _remote_options(
+    client, method: str, pairs: list[str], kind_hint: str | None
+) -> tuple[str, dict[str, object]]:
+    """Parse ``--option`` strings against the server's registry dump.
+
+    Returns the (possibly resolved) method name and the typed options.
+    This is the remote mirror of :func:`_parse_options`: the handshake's
+    method manifest stands in for the local registry, so ``repro request``
+    works against servers whose registry differs from the client's.
+    """
+    from repro.core.registry import OptionSpec
+    from repro.errors import ParameterError
+
+    if not pairs:
+        return method, {}
+    hello = client.hello()
+    if method == "auto":
+        if kind_hint is None:
+            raise ParameterError(
+                "--option with --method auto and --digest is ambiguous "
+                "(the client cannot resolve 'auto' without the graph); "
+                "pass an explicit --method"
+            )
+        method = hello["default_methods"][kind_hint]
+    entry = next(
+        (m for m in hello["methods"] if m["name"] == method), None
+    )
+    if entry is None:
+        raise ParameterError(
+            f"server does not advertise method {method!r}; available: "
+            f"{sorted(m['name'] for m in hello['methods'])}"
+        )
+    specs = {
+        o["name"]: OptionSpec(
+            name=o["name"],
+            type=o["type"],
+            default=o["default"],
+            description=o.get("description", ""),
+            choices=tuple(o["choices"]) if o.get("choices") else None,
+        )
+        for o in entry["options"]
+    }
+    options: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ParameterError(f"--option expects KEY=VALUE, got {pair!r}")
+        key = key.strip()
+        if key not in specs:
+            raise ParameterError(
+                f"method {method!r} has no option {key!r}; accepted "
+                f"options: {sorted(specs)}"
+            )
+        options[key] = specs[key].parse(value)
+    return method, options
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    from repro.errors import ParameterError
+    from repro.serve.client import ServeClient
+
+    host, port = _parse_connect(args.connect)
+    with ServeClient(host, port, timeout=args.timeout) as client:
+        if args.shutdown:
+            client.shutdown()
+            print("server stopping")
+            return 0
+        if args.stats or args.hello:
+            doc = client.stats() if args.stats else client.hello()
+            doc.pop("ok", None)
+            if args.json:
+                print(json.dumps(doc))
+            else:
+                for key, value in doc.items():
+                    print(f"{key}: {value}")
+            return 0
+
+        digest = args.digest
+        kind_hint = None
+        if digest is None:
+            if args.graph_file:
+                upload = client.upload_file(args.graph_file)
+            elif args.graph:
+                from repro.graphs.generators import by_name
+                from repro.graphs.io import to_json
+                from repro.graphs.weighted import weights_by_name
+
+                graph = by_name(args.graph, seed=args.graph_seed)
+                if args.weights:
+                    graph = weights_by_name(
+                        graph, args.weights, seed=args.graph_seed
+                    )
+                upload = client.upload_text(to_json(graph), format="json")
+            else:
+                raise ParameterError(
+                    "request needs --digest, --graph or --graph-file"
+                )
+            digest = upload["digest"]
+            kind_hint = "weighted" if upload["weighted"] else "unweighted"
+        if args.beta is None:
+            raise ParameterError("a decompose request needs --beta")
+        method, options = _remote_options(
+            client, args.method, args.option, kind_hint
+        )
+        result = client.decompose(
+            digest,
+            args.beta,
+            method=method,
+            seed=args.seed,
+            validate=args.validate,
+            **options,
+        )
+        doc = {
+            "digest": result.digest,
+            "kind": result.kind,
+            "cached": result.cached,
+            "coalesced": result.coalesced,
+            "result_digest": result.result_digest(),
+            **result.summary,
+        }
+        if args.json:
+            print(json.dumps(doc))
+        else:
+            for key, value in doc.items():
+                print(f"{key:>16}: {value}")
+    return 0
+
+
+def _cmd_methods(args: argparse.Namespace) -> int:
+    from repro.core.registry import describe_methods, iter_methods
     from repro.graphs.generators import GENERATORS
     from repro.graphs.weighted import WEIGHT_SCHEMES
 
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "methods": describe_methods(),
+                    "generators": sorted(GENERATORS),
+                    "weight_schemes": dict(sorted(WEIGHT_SCHEMES.items())),
+                }
+            )
+        )
+        return 0
     print("partition methods:")
     for spec in iter_methods():
         print(f"  {spec.name:>12} [{spec.kind}]: {spec.description}")

@@ -38,6 +38,7 @@ __all__ = [
     "get_method",
     "method_names",
     "iter_methods",
+    "describe_methods",
     "PARTITION_METHODS",
 ]
 
@@ -275,6 +276,36 @@ def method_names(graph_kind: str | None = None) -> list[str]:
 def iter_methods(graph_kind: str | None = None) -> list[MethodSpec]:
     """Registered specs in name order, optionally filtered by kind."""
     return [get_method(name) for name in method_names(graph_kind)]
+
+
+def describe_methods(graph_kind: str | None = None) -> list[dict]:
+    """The registry as JSON-serialisable dicts, in name order.
+
+    The machine-readable registry dump behind ``repro methods --json`` and
+    the decomposition service's ``hello`` handshake: each entry carries the
+    method's name, kind, description, option specs (name/type/default/
+    choices) and pinned values, so remote clients can validate and parse
+    option strings without importing the implementation modules.
+    """
+    return [
+        {
+            "name": spec.name,
+            "kind": spec.kind,
+            "description": spec.description,
+            "options": [
+                {
+                    "name": opt.name,
+                    "type": opt.type,
+                    "default": opt.default,
+                    "description": opt.description,
+                    "choices": list(opt.choices) if opt.choices else None,
+                }
+                for opt in spec.options
+            ],
+            "pinned": dict(spec.pinned),
+        }
+        for spec in iter_methods(graph_kind)
+    ]
 
 
 class _MethodsView(Mapping):

@@ -32,3 +32,12 @@ class VerificationError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative method (e.g. PCG) failed to converge within its budget."""
+
+
+class ServeError(ReproError):
+    """A decomposition-service request failed (protocol or server side).
+
+    Raised by :mod:`repro.serve` — on the client for malformed/oversized
+    frames, connection loss, and error responses relayed from the server;
+    server-side errors carry the original error type name in the message.
+    """

@@ -1,8 +1,24 @@
 """Graph serialisation: edge-list text, METIS, and JSON formats.
 
 The formats cover the interchange needs of the benchmark harness (dumping
-workloads for inspection) and interoperability with standard graph tools
-(METIS is the de-facto partitioning interchange format).
+workloads for inspection), interoperability with standard graph tools
+(METIS is the de-facto partitioning interchange format), and the upload
+payloads of the decomposition service (:mod:`repro.serve`), which accepts
+any of them and sniffs the format when the client does not say.
+
+Every format round-trips both plain :class:`~repro.graphs.csr.CSRGraph`
+and :class:`~repro.graphs.weighted.WeightedCSRGraph` instances:
+
+- edge list — ``n m`` header, then ``u v`` (or ``u v w``) per edge; weights
+  are written with 17 significant digits so ``float64`` survives the text
+  round trip bit-for-bit;
+- METIS — 1-indexed adjacency lines; weighted graphs use the standard
+  ``fmt=001`` edge-weight code (``nbr w`` pairs per line);
+- JSON — ``{"num_vertices", "edges"[, "weights"]}``.
+
+Malformed inputs raise :class:`~repro.errors.GraphError` carrying the
+source name and the 1-based line number of the offending token — never a
+raw ``ValueError`` from ``int()``/``float()``.
 """
 
 from __future__ import annotations
@@ -12,94 +28,517 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import GraphError
-from repro.graphs.build import from_adjacency, from_edges
+from repro.errors import GraphError, ParameterError
+from repro.graphs.build import from_edges
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
+from repro.graphs.weighted import WeightedCSRGraph, weighted_from_edges
 
 __all__ = [
+    "GRAPH_FORMATS",
+    "format_for_path",
     "write_edge_list",
     "read_edge_list",
     "write_metis",
     "read_metis",
     "to_json",
     "from_json",
+    "parse_graph",
+    "load_graph",
 ]
 
+#: Format names accepted by :func:`parse_graph` / :func:`load_graph`.
+GRAPH_FORMATS = ("edges", "metis", "json")
 
+#: File extensions mapped to formats by ``load_graph(format="auto")``;
+#: unknown extensions fall back to content sniffing.
+_EXTENSION_FORMATS = {
+    ".edges": "edges",
+    ".el": "edges",
+    ".txt": "edges",
+    ".metis": "metis",
+    ".graph": "metis",
+    ".json": "json",
+}
+
+#: Repr that round-trips every float64 exactly through text.
+_WEIGHT_FMT = "{:.17g}"
+
+#: Comment marker flagging a weighted edge list with no edges — the one
+#: case where no ``u v w`` row exists to carry the weightedness.
+_WEIGHTED_MARKER = "# weighted"
+
+
+def format_for_path(path: str | Path) -> str:
+    """The graph format a file extension implies, or ``"auto"``.
+
+    The resolution :func:`load_graph` (and the serve client's
+    ``upload_file``) applies before falling back to content sniffing.
+    """
+    return _EXTENSION_FORMATS.get(Path(path).suffix.lower(), "auto")
+
+
+def _parse_int(token: str, *, source: str, line_no: int, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise GraphError(
+            f"{source}:{line_no}: {what} must be an integer, got {token!r}"
+        ) from None
+
+
+def _parse_float(token: str, *, source: str, line_no: int, what: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise GraphError(
+            f"{source}:{line_no}: {what} must be a number, got {token!r}"
+        ) from None
+
+
+def _check_header_counts(
+    n: int, m: int, *, source: str, line_no: int
+) -> None:
+    if n < 0:
+        raise GraphError(
+            f"{source}:{line_no}: vertex count must be >= 0, got {n}"
+        )
+    if m < 0:
+        raise GraphError(
+            f"{source}:{line_no}: edge count must be >= 0, got {m}"
+        )
+
+
+def _data_lines(text: str, *, comments: tuple[str, ...]):
+    """Yield ``(line_no, tokens)`` for non-blank, non-comment lines."""
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(comments):
+            continue
+        yield line_no, stripped.split()
+
+
+# ---------------------------------------------------------------------------
+# edge-list format
+# ---------------------------------------------------------------------------
 def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
-    """Write ``n m`` header plus one ``u v`` line per undirected edge."""
+    """Write ``n m`` header plus one ``u v`` (or ``u v w``) line per edge."""
     path = Path(path)
     edges = graph.edge_array()
+    weights = (
+        graph.edge_weight_array()
+        if isinstance(graph, WeightedCSRGraph)
+        else None
+    )
     with path.open("w") as fh:
         fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
-        for u, v in edges:
-            fh.write(f"{u} {v}\n")
+        if weights is None:
+            for u, v in edges:
+                fh.write(f"{u} {v}\n")
+        elif len(edges) == 0:
+            # No `u v w` row will carry the weightedness; mark it.
+            fh.write(f"{_WEIGHTED_MARKER}\n")
+        else:
+            for (u, v), w in zip(edges, weights):
+                fh.write(f"{u} {v} {_WEIGHT_FMT.format(w)}\n")
 
 
 def read_edge_list(path: str | Path) -> CSRGraph:
     """Read the format produced by :func:`write_edge_list`."""
     path = Path(path)
-    with path.open() as fh:
-        header = fh.readline().split()
-        if len(header) != 2:
-            raise GraphError(f"bad edge-list header in {path}")
-        n, m = int(header[0]), int(header[1])
-        data = np.loadtxt(fh, dtype=VERTEX_DTYPE, ndmin=2) if m else np.zeros(
-            (0, 2), dtype=VERTEX_DTYPE
-        )
-    if data.shape[0] != m:
+    return _parse_edge_list(path.read_text(), source=str(path))
+
+
+def _parse_edge_list(text: str, *, source: str) -> CSRGraph:
+    lines = _data_lines(text, comments=("#", "%"))
+    try:
+        header_no, header = next(lines)
+    except StopIteration:
+        raise GraphError(f"{source}: empty edge-list input") from None
+    if len(header) != 2:
         raise GraphError(
-            f"edge count mismatch in {path}: header says {m}, found "
-            f"{data.shape[0]}"
+            f"{source}:{header_no}: bad edge-list header — expected "
+            f"'n m', got {' '.join(header)!r}"
         )
-    return from_edges(n, data)
+    n = _parse_int(
+        header[0], source=source, line_no=header_no, what="vertex count"
+    )
+    m = _parse_int(
+        header[1], source=source, line_no=header_no, what="edge count"
+    )
+    _check_header_counts(n, m, source=source, line_no=header_no)
+    # m edges need m body lines; reject a header promising more than the
+    # input can hold *before* sizing the allocation from it.
+    max_lines = text.count("\n") + 1
+    if m > max_lines:
+        raise GraphError(
+            f"{source}:{header_no}: header claims {m} edges but the "
+            f"input has only {max_lines} lines"
+        )
+    edges = np.zeros((m, 2), dtype=VERTEX_DTYPE)
+    weights = None
+    if any(
+        line.strip() == _WEIGHTED_MARKER for line in text.splitlines()
+    ):
+        weights = np.zeros(m, dtype=np.float64)
+    count = 0
+    for line_no, tokens in lines:
+        if count >= m:
+            raise GraphError(
+                f"{source}:{line_no}: edge count mismatch — header says "
+                f"{m}, found more"
+            )
+        if len(tokens) == 3 and weights is None and count == 0:
+            weights = np.zeros(m, dtype=np.float64)
+        expected = 2 if weights is None else 3
+        if len(tokens) != expected:
+            raise GraphError(
+                f"{source}:{line_no}: expected {expected} columns "
+                f"({'u v w' if expected == 3 else 'u v'}), got {len(tokens)}"
+            )
+        edges[count, 0] = _parse_int(
+            tokens[0], source=source, line_no=line_no, what="edge endpoint"
+        )
+        edges[count, 1] = _parse_int(
+            tokens[1], source=source, line_no=line_no, what="edge endpoint"
+        )
+        if weights is not None:
+            weights[count] = _parse_float(
+                tokens[2], source=source, line_no=line_no, what="edge weight"
+            )
+        count += 1
+    if count != m:
+        raise GraphError(
+            f"{source}: edge count mismatch — header says {m}, "
+            f"found {count}"
+        )
+    try:
+        if weights is None:
+            return from_edges(n, edges)
+        return weighted_from_edges(n, edges, weights)
+    except GraphError as exc:
+        raise GraphError(f"{source}: {exc}") from None
 
 
+# ---------------------------------------------------------------------------
+# METIS format
+# ---------------------------------------------------------------------------
 def write_metis(graph: CSRGraph, path: str | Path) -> None:
-    """Write METIS adjacency format (1-indexed, one line per vertex)."""
+    """Write METIS adjacency format (1-indexed, one line per vertex).
+
+    Weighted graphs use the standard ``fmt=001`` header code and write
+    ``neighbor weight`` pairs on each vertex line.
+    """
     path = Path(path)
+    weighted = isinstance(graph, WeightedCSRGraph)
     with path.open("w") as fh:
-        fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        fmt = " 001" if weighted else ""
+        fh.write(f"{graph.num_vertices} {graph.num_edges}{fmt}\n")
         for v in range(graph.num_vertices):
-            fh.write(" ".join(str(int(x) + 1) for x in graph.neighbors(v)))
+            nbrs = graph.neighbors(v)
+            if weighted:
+                ws = graph.neighbor_weights(v)
+                fh.write(
+                    " ".join(
+                        f"{int(nbr) + 1} {_WEIGHT_FMT.format(w)}"
+                        for nbr, w in zip(nbrs, ws)
+                    )
+                )
+            else:
+                fh.write(" ".join(str(int(x) + 1) for x in nbrs))
             fh.write("\n")
 
 
 def read_metis(path: str | Path) -> CSRGraph:
-    """Read the (unweighted) METIS adjacency format."""
+    """Read the METIS adjacency format (unweighted or ``fmt=001``)."""
     path = Path(path)
-    with path.open() as fh:
-        header = fh.readline().split()
-        if len(header) < 2:
-            raise GraphError(f"bad METIS header in {path}")
-        n, m = int(header[0]), int(header[1])
-        adjacency: list[list[int]] = []
-        for _ in range(n):
-            line = fh.readline()
-            if line == "":
-                raise GraphError(f"truncated METIS file {path}")
-            adjacency.append([int(tok) - 1 for tok in line.split()])
-    graph = from_adjacency(adjacency)
+    return _parse_metis(path.read_text(), source=str(path))
+
+
+def _parse_metis(text: str, *, source: str) -> CSRGraph:
+    # METIS comments start with '%'.  Unlike the edge-list format, *blank*
+    # body lines are meaningful — they are the adjacency of isolated
+    # vertices — so the body iterates physical lines.
+    physical = [
+        (line_no, line.strip())
+        for line_no, line in enumerate(text.splitlines(), start=1)
+        if not line.strip().startswith("%")
+    ]
+    header_entry = next(
+        ((no, line.split()) for no, line in physical if line), None
+    )
+    if header_entry is None:
+        raise GraphError(f"{source}: empty METIS input")
+    header_no, header = header_entry
+    if len(header) < 2 or len(header) > 4:
+        raise GraphError(
+            f"{source}:{header_no}: bad METIS header — expected "
+            f"'n m [fmt]', got {' '.join(header)!r}"
+        )
+    n = _parse_int(
+        header[0], source=source, line_no=header_no, what="vertex count"
+    )
+    m = _parse_int(
+        header[1], source=source, line_no=header_no, what="edge count"
+    )
+    _check_header_counts(n, m, source=source, line_no=header_no)
+    fmt = header[2] if len(header) > 2 else "0"
+    if fmt.lstrip("0") == "":
+        weighted = False
+    elif fmt.lstrip("0") == "1":
+        weighted = True
+    else:
+        raise GraphError(
+            f"{source}:{header_no}: unsupported METIS fmt code {fmt!r} — "
+            "only unweighted (0) and edge-weighted (001) graphs are "
+            "supported"
+        )
+    body = [
+        (line_no, line.split())
+        for line_no, line in physical
+        if line_no > header_no
+    ]
+    # Trailing blank lines beyond the n vertex lines are tolerated (many
+    # writers emit a final newline); non-blank extras are an error.
+    while len(body) > n and not body[-1][1]:
+        body.pop()
+    if len(body) > n:
+        raise GraphError(
+            f"{source}:{body[n][0]}: more than {n} vertex lines"
+        )
+    if len(body) < n:
+        raise GraphError(
+            f"{source}: truncated METIS input — expected {n} vertex "
+            f"lines, found {len(body)}"
+        )
+    src: list[int] = []
+    dst: list[int] = []
+    wts: list[float] = []
+    for v, (line_no, tokens) in enumerate(body):
+        if weighted:
+            if len(tokens) % 2:
+                raise GraphError(
+                    f"{source}:{line_no}: weighted METIS vertex line must "
+                    "hold (neighbor, weight) pairs — odd token count"
+                )
+            for i in range(0, len(tokens), 2):
+                src.append(v)
+                dst.append(
+                    _parse_int(
+                        tokens[i], source=source, line_no=line_no,
+                        what="neighbor id",
+                    ) - 1
+                )
+                wts.append(
+                    _parse_float(
+                        tokens[i + 1], source=source, line_no=line_no,
+                        what="edge weight",
+                    )
+                )
+        else:
+            for tok in tokens:
+                src.append(v)
+                dst.append(
+                    _parse_int(
+                        tok, source=source, line_no=line_no,
+                        what="neighbor id",
+                    ) - 1
+                )
+    return _metis_from_arcs(
+        n, m, np.asarray(src, dtype=VERTEX_DTYPE),
+        np.asarray(dst, dtype=VERTEX_DTYPE),
+        np.asarray(wts, dtype=np.float64) if weighted else None,
+        source=source,
+    )
+
+
+def _metis_from_arcs(
+    n: int,
+    m: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray | None,
+    *,
+    source: str,
+) -> CSRGraph:
+    """Assemble and cross-check the arc soup a METIS body parses into."""
+    if src.size:
+        if dst.min() < 0 or dst.max() >= n:
+            raise GraphError(
+                f"{source}: neighbor id out of range 1..{n}"
+            )
+    if src.size % 2:
+        raise GraphError(
+            f"{source}: adjacency is not symmetric — odd arc count"
+        )
+    keys = np.minimum(src, dst) * n + np.maximum(src, dst)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    if not np.array_equal(sorted_keys[0::2], sorted_keys[1::2]):
+        raise GraphError(
+            f"{source}: adjacency is not symmetric — some edge is listed "
+            "in only one direction"
+        )
+    if weights is not None:
+        w_sorted = weights[order]
+        if not np.allclose(w_sorted[0::2], w_sorted[1::2]):
+            raise GraphError(
+                f"{source}: arc weights are not symmetric"
+            )
+    keep = src < dst
+    edges = np.stack([src[keep], dst[keep]], axis=1)
+    try:
+        if weights is None:
+            graph: CSRGraph = from_edges(n, edges)
+        else:
+            graph = weighted_from_edges(n, edges, weights[keep])
+    except GraphError as exc:
+        raise GraphError(f"{source}: {exc}") from None
     if graph.num_edges != m:
         raise GraphError(
-            f"METIS edge count mismatch in {path}: header {m}, "
+            f"{source}: METIS edge count mismatch — header says {m}, "
             f"parsed {graph.num_edges}"
         )
     return graph
 
 
+# ---------------------------------------------------------------------------
+# JSON format
+# ---------------------------------------------------------------------------
 def to_json(graph: CSRGraph) -> str:
-    """Serialise to a compact JSON document (used by the CLI)."""
-    return json.dumps(
-        {
-            "num_vertices": graph.num_vertices,
-            "edges": graph.edge_array().tolist(),
-        }
-    )
+    """Serialise to a compact JSON document (used by the CLI and the
+    decomposition service's upload payloads)."""
+    doc: dict[str, object] = {
+        "num_vertices": graph.num_vertices,
+        "edges": graph.edge_array().tolist(),
+    }
+    if isinstance(graph, WeightedCSRGraph):
+        doc["weights"] = graph.edge_weight_array().tolist()
+    return json.dumps(doc)
 
 
-def from_json(doc: str) -> CSRGraph:
-    """Inverse of :func:`to_json`."""
-    obj = json.loads(doc)
-    edges = np.asarray(obj["edges"], dtype=VERTEX_DTYPE).reshape(-1, 2)
-    return from_edges(int(obj["num_vertices"]), edges)
+def from_json(doc: str, *, source: str = "<json>") -> CSRGraph:
+    """Inverse of :func:`to_json` (weighted when ``"weights"`` is present)."""
+    try:
+        obj = json.loads(doc)
+    except json.JSONDecodeError as exc:
+        # The decoder's message carries the line/column of the bad token.
+        raise GraphError(f"{source}: invalid JSON — {exc}") from None
+    if not isinstance(obj, dict):
+        raise GraphError(
+            f"{source}: expected a JSON object with 'num_vertices' and "
+            f"'edges', got {type(obj).__name__}"
+        )
+    for key in ("num_vertices", "edges"):
+        if key not in obj:
+            raise GraphError(f"{source}: missing JSON key {key!r}")
+    try:
+        n = int(obj["num_vertices"])
+        edges = np.asarray(obj["edges"], dtype=VERTEX_DTYPE).reshape(-1, 2)
+    except (TypeError, ValueError) as exc:
+        raise GraphError(f"{source}: malformed JSON graph — {exc}") from None
+    try:
+        if "weights" not in obj:
+            return from_edges(n, edges)
+        weights = np.asarray(obj["weights"], dtype=np.float64)
+        return weighted_from_edges(n, edges, weights)
+    except (GraphError, TypeError, ValueError) as exc:
+        raise GraphError(f"{source}: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# unified entry points
+# ---------------------------------------------------------------------------
+def _graphs_identical(a: CSRGraph, b: CSRGraph) -> bool:
+    """Equality including weights (CSRGraph.__eq__ is topology-only)."""
+    if type(a) is not type(b) or a != b:
+        return False
+    if isinstance(a, WeightedCSRGraph):
+        return bool(np.array_equal(a.weights, b.weights))
+    return True
+
+
+_PARSERS = {
+    "edges": _parse_edge_list,
+    "metis": _parse_metis,
+    "json": lambda text, source: from_json(text, source=source),
+}
+
+
+def parse_graph(
+    text: str, format: str = "auto", *, source: str = "<string>"
+) -> CSRGraph:
+    """Parse a graph from serialised ``text`` in any supported format.
+
+    ``format="auto"`` sniffs: a document starting with ``{`` is JSON; a
+    three-token ``n m fmt`` header is METIS; a two-token header is
+    ambiguous — both remaining parsers run, and the call succeeds only
+    when exactly one accepts the body (or both yield the *same* graph).
+    Text valid as edge list **and** as a different METIS graph raises
+    rather than guessing; pass an explicit ``format`` for such files.
+    This is the parsing path behind :func:`load_graph` and the
+    decomposition service's graph uploads.
+    """
+    if format != "auto":
+        if format not in _PARSERS:
+            raise ParameterError(
+                f"unknown graph format {format!r}; "
+                f"choices: {sorted((*GRAPH_FORMATS, 'auto'))}"
+            )
+        return _PARSERS[format](text, source=source)
+    stripped = text.lstrip()
+    if stripped.startswith(("{", "[")):
+        return from_json(text, source=source)
+    for _, tokens in _data_lines(text, comments=("#", "%")):
+        if len(tokens) >= 3:
+            return _parse_metis(text, source=source)
+        break
+    try:
+        as_edges: CSRGraph | None = _parse_edge_list(text, source=source)
+        edge_exc: GraphError | None = None
+    except GraphError as exc:
+        as_edges, edge_exc = None, exc
+    try:
+        as_metis: CSRGraph | None = _parse_metis(text, source=source)
+    except GraphError:
+        as_metis = None
+    if as_edges is not None and as_metis is not None:
+        if _graphs_identical(as_edges, as_metis):
+            return as_edges
+        raise GraphError(
+            f"{source}: ambiguous graph text — parses as both an edge "
+            "list and a (different) METIS graph; pass format='edges' or "
+            "format='metis' explicitly"
+        )
+    if as_edges is not None:
+        return as_edges
+    if as_metis is not None:
+        return as_metis
+    # The edge-list diagnosis names the first offending line; the METIS
+    # reparse of a broken edge list rarely adds signal.
+    raise GraphError(
+        f"{source}: not parsable as any of {list(GRAPH_FORMATS)}; "
+        f"edge-list parser said: {edge_exc}"
+    ) from None
+
+
+def load_graph(path: str | Path, format: str = "auto") -> CSRGraph:
+    """Load a graph file, dispatching on ``format``, extension, or content.
+
+    ``format="auto"`` first maps the file extension (``.edges``/``.el``/
+    ``.txt`` → edge list, ``.metis``/``.graph`` → METIS, ``.json`` → JSON)
+    and falls back to :func:`parse_graph`'s content sniffing for anything
+    else.  Explicit ``format`` values bypass both.
+    """
+    path = Path(path)
+    if format == "auto":
+        format = format_for_path(path)
+    elif format not in _PARSERS:
+        raise ParameterError(
+            f"unknown graph format {format!r}; "
+            f"choices: {sorted((*GRAPH_FORMATS, 'auto'))}"
+        )
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise GraphError(f"cannot read graph file {path}: {exc}") from None
+    return parse_graph(text, format, source=str(path))

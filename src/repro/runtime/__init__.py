@@ -9,6 +9,8 @@ The serving layer the ROADMAP's batching/throughput goals build on:
   workers attached to the registered graphs and streams tiny
   ``(graph_key, method, seed, options)`` requests to them, returning
   results bit-identical to serial :func:`repro.core.engine.decompose`;
+  graphs can be registered/unregistered on the live pool (the
+  decomposition service :mod:`repro.serve` builds on this);
 - :mod:`repro.runtime.throughput` — request/second measurement comparing
   the runtime against per-task pickling executors (the ``RT`` benchmark
   and the CLI's ``bench-throughput`` subcommand).

@@ -18,11 +18,20 @@ The pool is a context manager; exiting shuts the workers down and unlinks
 the shared segments.  Request validation (unknown graph key, unknown
 method/options) happens in :meth:`submit` on the parent side, before
 anything is enqueued.
+
+Graphs can be registered on a *live* pool (:meth:`register_graph` /
+:meth:`unregister_graph`) — the serving layer (:mod:`repro.serve`) uploads
+graphs long after the workers have started.  Every request payload carries
+the graph's :class:`SharedGraphDescriptor` (a few hundred bytes), and
+workers attach lazily on first sight of a key, re-attaching when a key is
+re-registered under a new segment; no worker restart is needed under any
+start method.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
@@ -71,10 +80,29 @@ def _attach_worker(descriptors: dict[str, SharedGraphDescriptor]) -> None:
         _WORKER_GRAPHS[key] = attach_shared(descriptor)
 
 
+def _worker_graph(graph_key: str, descriptor: SharedGraphDescriptor):
+    """The worker's attached graph for ``graph_key``, attaching on demand.
+
+    The initializer pre-attaches construction-time graphs; graphs registered
+    on the live pool arrive here through the descriptor riding on the
+    request.  A key re-registered under a new segment (unregister + register
+    cycle) is detected by segment-name mismatch and re-attached, so workers
+    never serve a stale mapping.
+    """
+    cached = _WORKER_GRAPHS.get(graph_key)
+    if cached is not None:
+        if cached.descriptor.segment == descriptor.segment:
+            return cached.graph
+        cached.close()
+    attached = attach_shared(descriptor)
+    _WORKER_GRAPHS[graph_key] = attached
+    return attached.graph
+
+
 def _execute_request(payload: tuple) -> tuple:
     """Run one request against the worker's attached graph, return it slim."""
-    graph_key, beta, method, seed, validate, options = payload
-    graph = _WORKER_GRAPHS[graph_key].graph
+    graph_key, descriptor, beta, method, seed, validate, options = payload
+    graph = _worker_graph(graph_key, descriptor)
     result = decompose(
         graph, beta, method=method, seed=seed, validate=validate, **options
     )
@@ -120,8 +148,9 @@ class DecompositionPool:
     ----------
     graphs:
         The graphs to serve: a single graph (key ``"0"``), a sequence
-        (keys ``"0"``, ``"1"``, ...) or an explicit ``{key: graph}``
-        mapping.  Each is copied into shared memory once, here.
+        (keys ``"0"``, ``"1"``, ...), an explicit ``{key: graph}`` mapping,
+        or ``None`` for an initially empty pool (register graphs later via
+        :meth:`register_graph`).  Each is copied into shared memory once.
     max_workers:
         Worker-process count (default: CPU count).
     start_method:
@@ -141,7 +170,7 @@ class DecompositionPool:
 
     def __init__(
         self,
-        graphs: CSRGraph | Sequence[CSRGraph] | Mapping[str, CSRGraph],
+        graphs: CSRGraph | Sequence[CSRGraph] | Mapping[str, CSRGraph] | None = None,
         *,
         max_workers: int | None = None,
         start_method: str | None = None,
@@ -149,6 +178,10 @@ class DecompositionPool:
         self._graphs = _normalise_graph_map(graphs)
         self._shared: dict[str, SharedCSR] = {}
         self._pool: ProcessPoolExecutor | None = None
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
         try:
             for key, graph in self._graphs.items():
                 self._shared[key] = share_graph(graph)
@@ -200,9 +233,76 @@ class DecompositionPool:
     def closed(self) -> bool:
         return self._pool is None
 
+    def stats(self) -> dict[str, int | bool]:
+        """Request/graph counters — the serving layer's monitoring hook.
+
+        ``submitted`` counts requests accepted by :meth:`submit`/:meth:`run`;
+        ``completed``/``failed`` count finished ones (a cancelled request
+        counts as failed).  Counts are monotonic over the pool's lifetime.
+        """
+        with self._stats_lock:
+            return {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "graphs": len(self._graphs),
+                "shared_bytes": self.shared_nbytes(),
+                "max_workers": self._max_workers,
+                "closed": self.closed,
+            }
+
+    # ------------------------------------------------------------------
+    # live graph registration
+    # ------------------------------------------------------------------
+    def register_graph(self, graph_key: str, graph: CSRGraph) -> None:
+        """Place ``graph`` in shared memory and serve it under ``graph_key``.
+
+        Works on a live pool under every start method: workers attach
+        lazily from the descriptor carried by the first request that names
+        the key (see :func:`_worker_graph`), so no worker restart happens.
+        """
+        if self._pool is None:
+            raise ParameterError("DecompositionPool is shut down")
+        if not isinstance(graph_key, str):
+            raise ParameterError(
+                f"graph keys must be strings, got {type(graph_key).__name__}"
+            )
+        if graph_key in self._graphs:
+            raise ParameterError(
+                f"graph key {graph_key!r} is already registered; "
+                "unregister it first to replace the graph"
+            )
+        if not isinstance(graph, CSRGraph):
+            raise ParameterError(
+                f"graph {graph_key!r} is not a CSRGraph: "
+                f"{type(graph).__name__}"
+            )
+        self._shared[graph_key] = share_graph(graph)
+        self._graphs[graph_key] = graph
+
+    def unregister_graph(self, graph_key: str) -> None:
+        """Stop serving ``graph_key`` and unlink its shared segment.
+
+        The caller is responsible for not racing in-flight requests against
+        the same key (the serving layer serialises registry mutations on its
+        event loop); workers that already mapped the segment keep their
+        mapping until they next see the key re-registered or the pool shuts
+        down — the OS frees the memory once the last mapping closes.
+        """
+        self._check_key(graph_key)
+        del self._graphs[graph_key]
+        self._shared.pop(graph_key).close()
+
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
+    def _count_done(self, future: "Future") -> None:
+        """Done-callback keeping the completed/failed counters current."""
+        with self._stats_lock:
+            if future.cancelled() or future.exception() is not None:
+                self._failed += 1
+            else:
+                self._completed += 1
     def submit(
         self,
         graph_key: str,
@@ -223,11 +323,17 @@ class DecompositionPool:
             raise ParameterError("DecompositionPool is shut down")
         graph = self._graphs[self._check_key(graph_key)]
         _resolve(graph, method).bind(options)
+        descriptor = self._shared[graph_key].descriptor
         raw = self._pool.submit(
             _execute_request,
-            (graph_key, beta, method, seed, validate, dict(options)),
+            (graph_key, descriptor, beta, method, seed, validate,
+             dict(options)),
         )
-        return _chain_future(raw, lambda slim: _rehydrate_result(graph, slim))
+        with self._stats_lock:
+            self._submitted += 1
+        out = _chain_future(raw, lambda slim: _rehydrate_result(graph, slim))
+        out.add_done_callback(self._count_done)
+        return out
 
     def decompose(
         self,
@@ -272,8 +378,8 @@ class DecompositionPool:
             options = dict(req.options)
             _resolve(graph, req.method).bind(options)
             payloads.append(
-                (req.graph_key, req.beta, req.method, req.seed,
-                 req.validate, options)
+                (req.graph_key, self._shared[req.graph_key].descriptor,
+                 req.beta, req.method, req.seed, req.validate, options)
             )
         if not payloads:
             return []
@@ -281,9 +387,24 @@ class DecompositionPool:
             # Enough chunks that workers stay busy, few enough that
             # dispatch stays off the profile.
             chunksize = max(1, len(payloads) // (4 * self._max_workers))
-        slim_results = self._pool.map(
-            _execute_request, payloads, chunksize=int(chunksize)
-        )
+        with self._stats_lock:
+            self._submitted += len(payloads)
+        # Drain results one at a time so the counters reflect per-request
+        # outcomes: requests yielded before a failure count as completed;
+        # the failing one and everything after it (which the broken map
+        # will never yield) count as failed.
+        slim_results: list[tuple] = []
+        try:
+            for slim in self._pool.map(
+                _execute_request, payloads, chunksize=int(chunksize)
+            ):
+                slim_results.append(slim)
+                with self._stats_lock:
+                    self._completed += 1
+        except BaseException:
+            with self._stats_lock:
+                self._failed += len(payloads) - len(slim_results)
+            raise
         return [
             _rehydrate_result(self._graphs[req.graph_key], slim)
             for req, slim in zip(request_list, slim_results)
@@ -321,14 +442,14 @@ class DecompositionPool:
 
 
 def _normalise_graph_map(graphs) -> dict[str, CSRGraph]:
+    if graphs is None:
+        return {}
     if isinstance(graphs, CSRGraph):
         graphs = {"0": graphs}
     elif isinstance(graphs, Mapping):
         graphs = dict(graphs)
     else:
         graphs = {str(i): g for i, g in enumerate(graphs)}
-    if not graphs:
-        raise ParameterError("need at least one graph")
     for key, graph in graphs.items():
         if not isinstance(key, str):
             raise ParameterError(

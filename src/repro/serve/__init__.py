@@ -1,0 +1,52 @@
+"""Decomposition service: async server, content-addressed store, cache.
+
+The long-lived serving surface over the shared-memory batch runtime
+(:mod:`repro.runtime`) — the layer the ROADMAP's "serve heavy traffic"
+goal names.  Clients upload a graph once, then stream
+``(digest, beta, method, seed, options)`` requests; the server memoizes
+results (decompositions are derandomized, so a warm hit is byte-identical
+to a cold computation) and coalesces concurrent duplicates into one pool
+execution.
+
+- :mod:`repro.serve.protocol` — length-prefixed JSON frames, array codec,
+  canonical cache keys;
+- :mod:`repro.serve.store` — :class:`GraphStore`, content addressing by
+  :func:`graph_digest`;
+- :mod:`repro.serve.cache` — :class:`ResultCache`, byte-budgeted LRU with
+  hit/miss/eviction counters;
+- :mod:`repro.serve.server` — :class:`DecompositionServer` (asyncio) and
+  the :func:`serve_background` thread harness;
+- :mod:`repro.serve.client` — blocking :class:`ServeClient` /
+  :class:`ServeResult`.
+
+CLI: ``repro serve`` starts a server, ``repro request`` drives it.  See
+DESIGN.md §7 for the architecture and the SV benchmark for the latency
+numbers the layer exists to hit.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient, ServeResult
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    canonical_cache_key,
+    decode_array,
+    encode_array,
+)
+from repro.serve.server import DecompositionServer, serve_background
+from repro.serve.store import GraphStore, graph_digest
+
+__all__ = [
+    "DecompositionServer",
+    "serve_background",
+    "ServeClient",
+    "ServeResult",
+    "GraphStore",
+    "graph_digest",
+    "ResultCache",
+    "canonical_cache_key",
+    "encode_array",
+    "decode_array",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+]

@@ -1,0 +1,120 @@
+"""Memoizing result cache for the decomposition service.
+
+Decompositions in this library are derandomized: the output is a pure
+function of ``(graph bytes, beta, method, seed, options)`` — the
+conformance suite (``tests/test_conformance.py``) pins bit-identical
+results across executors, which is exactly the license a memoizing cache
+needs.  :class:`ResultCache` is a byte-budgeted LRU over the canonical
+request keys of :func:`repro.serve.protocol.canonical_cache_key`; a warm
+hit returns the very bytes a cold miss computed (digest-checked by
+``tests/test_serve.py``).
+
+The cache is value-agnostic (entries are opaque objects with a declared
+byte size) and thread-safe, so it can front any deterministic computation,
+not just the server's slim decomposition payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.errors import ParameterError
+
+__all__ = ["ResultCache"]
+
+#: Default byte budget: enough for ~2000 decompositions of a 1M-vertex
+#: graph's two int64 result arrays — generous for a laptop, bounded.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class ResultCache:
+    """Byte-budgeted LRU cache with hit/miss/eviction counters.
+
+    Entries are inserted with an explicit ``nbytes`` accounting size;
+    inserting past the budget evicts least-recently-used entries until the
+    new entry fits.  An entry larger than the whole budget is *rejected*
+    (counted in ``oversize``) rather than flushing the cache for one
+    un-keepable value.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes < 0:
+            raise ParameterError(
+                f"max_bytes must be >= 0, got {max_bytes}"
+            )
+        self._max_bytes = int(max_bytes)
+        self._entries: OrderedDict[Hashable, tuple[object, int]] = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._oversize = 0
+
+    def get(self, key: Hashable) -> object | None:
+        """The cached value for ``key``, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: Hashable, value: object, nbytes: int) -> bool:
+        """Insert ``value`` under ``key``; returns whether it was kept."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ParameterError(f"nbytes must be >= 0, got {nbytes}")
+        with self._lock:
+            if nbytes > self._max_bytes:
+                self._oversize += 1
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            while self._bytes + nbytes > self._max_bytes:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self._bytes -= evicted_bytes
+                self._evictions += 1
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            return True
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self._max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "oversize": self._oversize,
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ResultCache({stats['entries']} entries, {stats['bytes']}/"
+            f"{stats['max_bytes']} bytes, {stats['hits']} hits)"
+        )

@@ -1,0 +1,248 @@
+"""Blocking client for the decomposition service.
+
+:class:`ServeClient` speaks the frame protocol of
+:mod:`repro.serve.protocol` over one TCP connection.  The intended calling
+sequence mirrors the server's content-addressed design: upload a graph
+once (:meth:`upload` / :meth:`upload_file`), keep the digest, then issue
+as many :meth:`decompose` calls as the workload needs — the server
+answers repeats from its memoizing cache and coalesces concurrent
+duplicates.
+
+The client is deliberately synchronous: downstream numerical code (solver
+loops, benchmark harnesses) is synchronous, and one connection per thread
+is the natural unit.  A lock serialises frames so a client instance shared
+across threads still interleaves whole requests, never partial frames.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParameterError, ServeError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.io import to_json
+from repro.serve.protocol import (
+    decode_array,
+    encode_frame,
+    read_frame_blocking,
+)
+
+__all__ = ["ServeClient", "ServeResult"]
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One decomposition as served: assignment arrays plus provenance."""
+
+    digest: str
+    kind: str
+    cached: bool
+    coalesced: bool
+    summary: dict
+    center: np.ndarray
+    per_vertex: np.ndarray
+
+    @property
+    def hops(self) -> np.ndarray:
+        """BFS hop distances (unweighted results only)."""
+        if self.kind != "unweighted":
+            raise ParameterError(
+                f"hops is an unweighted-result field; this result is "
+                f"{self.kind}"
+            )
+        return self.per_vertex
+
+    @property
+    def radius(self) -> np.ndarray:
+        """Shifted-distance radii (weighted results only)."""
+        if self.kind != "weighted":
+            raise ParameterError(
+                f"radius is a weighted-result field; this result is "
+                f"{self.kind}"
+            )
+        return self.per_vertex
+
+    @property
+    def num_pieces(self) -> int:
+        return int(float(self.summary["num_pieces"]))
+
+    def result_digest(self) -> str:
+        """SHA-256 over the assignment arrays — the bit-identity witness."""
+        sha = hashlib.sha256()
+        sha.update(np.ascontiguousarray(self.center).tobytes())
+        sha.update(np.ascontiguousarray(self.per_vertex).tobytes())
+        return sha.hexdigest()
+
+
+class ServeClient:
+    """Synchronous connection to a :class:`DecompositionServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address, e.g. ``ServeClient(*server.address)``.
+    timeout:
+        Socket timeout in seconds for connect and for each response.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 60.0
+    ) -> None:
+        try:
+            self._sock: socket.socket | None = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ServeError(
+                f"cannot connect to decomposition server at "
+                f"{host}:{port}: {exc}"
+            ) from None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _call(self, message: dict) -> dict:
+        with self._lock:
+            if self._sock is None:
+                raise ServeError("client is closed")
+            try:
+                self._sock.sendall(encode_frame(message))
+                response = read_frame_blocking(self._sock)
+            except (OSError, ServeError) as exc:
+                # A timeout or mid-frame failure leaves the stream
+                # desynchronized (the protocol has no request ids) — a
+                # later response could answer the wrong request.  The
+                # connection is unusable; close it.
+                sock, self._sock = self._sock, None
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                raise ServeError(
+                    f"connection to server lost: {exc}"
+                ) from None
+        if response is None:
+            raise ServeError("server closed the connection")
+        if not response.get("ok"):
+            raise ServeError(
+                f"{response.get('error', 'Error')}: "
+                f"{response.get('message', 'unknown server error')}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def hello(self) -> dict:
+        """Handshake: server identity, protocol, method registry dump."""
+        return self._call({"op": "hello"})
+
+    def upload(self, graph: CSRGraph) -> str:
+        """Upload a graph object (JSON payload); returns its digest."""
+        if not isinstance(graph, CSRGraph):
+            raise ParameterError(
+                f"expected a CSRGraph, got {type(graph).__name__}"
+            )
+        return self.upload_text(to_json(graph), format="json")["digest"]
+
+    def upload_text(self, payload: str, format: str = "auto") -> dict:
+        """Upload serialised graph text; returns the full server response
+        (``digest``, ``known``, ``num_vertices``, ``num_edges``,
+        ``weighted``)."""
+        return self._call(
+            {"op": "upload", "format": format, "payload": payload}
+        )
+
+    def upload_file(self, path: str | Path, format: str = "auto") -> dict:
+        """Upload a graph file's contents.
+
+        ``format="auto"`` resolves a known file extension client-side (the
+        extension never crosses the wire, and the server's content sniff
+        refuses genuinely ambiguous text); unknown extensions are sniffed
+        server-side.
+        """
+        path = Path(path)
+        if format == "auto":
+            from repro.graphs.io import format_for_path
+
+            format = format_for_path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ServeError(
+                f"cannot read graph file {path}: {exc}"
+            ) from None
+        return self.upload_text(text, format=format)
+
+    def decompose(
+        self,
+        digest: str,
+        beta: float,
+        *,
+        method: str = "auto",
+        seed: int = 0,
+        validate: bool = False,
+        **options: object,
+    ) -> ServeResult:
+        """Request one decomposition of the graph behind ``digest``."""
+        response = self._call(
+            {
+                "op": "decompose",
+                "digest": digest,
+                "beta": beta,
+                "method": method,
+                "seed": seed,
+                "validate": validate,
+                "options": dict(options),
+            }
+        )
+        return ServeResult(
+            digest=response["digest"],
+            kind=response["kind"],
+            cached=bool(response["cached"]),
+            coalesced=bool(response["coalesced"]),
+            summary=dict(response["summary"]),
+            center=decode_array(response["center"]),
+            per_vertex=decode_array(response["per_vertex"]),
+        )
+
+    def stats(self) -> dict:
+        """Server/cache/store/pool counters."""
+        return self._call({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop (the response confirms it is stopping)."""
+        return self._call({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            sock, self._sock = self._sock, None
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "connected"
+        return f"ServeClient({state})"

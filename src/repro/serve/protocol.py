@@ -1,0 +1,176 @@
+"""Wire protocol of the decomposition service — JSON frames over TCP.
+
+Every message (either direction) is one *frame*: a 4-byte big-endian
+unsigned length prefix followed by that many bytes of UTF-8 JSON.  Length
+prefixing keeps the protocol trivial to implement in any language while
+allowing graph uploads of hundreds of megabytes without line-buffering
+pathologies; :data:`MAX_FRAME_BYTES` bounds what either side will accept.
+
+Requests are objects with an ``"op"`` key (``hello``, ``upload``,
+``decompose``, ``stats``, ``shutdown``); responses carry ``"ok": true``
+plus op-specific fields, or ``"ok": false`` with ``"error"`` (the server
+exception's type name) and ``"message"``.
+
+NumPy arrays cross the wire as ``{"dtype", "shape", "data"}`` objects with
+base64-encoded raw little-endian bytes (:func:`encode_array` /
+:func:`decode_array`) — bit-exact, and ~3× denser than JSON number lists.
+
+:func:`canonical_cache_key` defines the result-cache identity used by both
+the memoizing cache and in-flight request coalescing; see DESIGN.md §7 for
+the canonicalisation rules.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import ServeError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame_body",
+    "parse_frame_length",
+    "read_frame_blocking",
+    "encode_array",
+    "decode_array",
+    "canonical_cache_key",
+]
+
+#: Bumped on wire-incompatible changes; exchanged in the ``hello`` op.
+PROTOCOL_VERSION = 1
+
+#: Upper bound either side accepts for one frame (512 MiB — a ~20M-edge
+#: JSON upload).  Oversized frames fail fast instead of OOMing the peer.
+MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(message: Mapping) -> bytes:
+    """Serialise one message to its length-prefixed wire form."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame of {len(body)} bytes exceeds the protocol maximum "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame_body(body: bytes) -> dict:
+    """Parse a frame body back into a message object."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"malformed frame body: {exc}") from None
+    if not isinstance(message, dict):
+        raise ServeError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def parse_frame_length(header: bytes) -> int:
+    """Validate a 4-byte length prefix, returning the body size."""
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"peer announced a {length}-byte frame, exceeding the protocol "
+            f"maximum ({MAX_FRAME_BYTES})"
+        )
+    return length
+
+
+def read_frame_blocking(sock) -> dict | None:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _LENGTH.size)
+    if header is None:
+        return None
+    length = parse_frame_length(header)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ServeError("connection closed mid-frame")
+    return decode_frame_body(body)
+
+
+def _recv_exactly(sock, count: int) -> bytes | None:
+    """``count`` bytes from ``sock``, ``None`` on EOF at a frame boundary."""
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            if not chunks:
+                return None
+            raise ServeError("connection closed mid-frame")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+# ---------------------------------------------------------------------------
+# array codec
+# ---------------------------------------------------------------------------
+def encode_array(arr: np.ndarray) -> dict:
+    """Encode an array as a JSON-safe object, bit-exactly."""
+    arr = np.ascontiguousarray(arr)
+    # Little-endian on the wire; '<' covers every platform this runs on.
+    dtype = arr.dtype.newbyteorder("<")
+    return {
+        "dtype": dtype.str,
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.astype(dtype, copy=False).tobytes())
+        .decode("ascii"),
+    }
+
+
+def decode_array(obj: Mapping) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    try:
+        dtype = np.dtype(obj["dtype"])
+        shape = tuple(int(s) for s in obj["shape"])
+        raw = base64.b64decode(obj["data"], validate=True)
+        arr = np.frombuffer(raw, dtype=dtype).reshape(shape)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServeError(f"malformed array payload: {exc}") from None
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# cache identity
+# ---------------------------------------------------------------------------
+def canonical_cache_key(
+    graph_digest: str,
+    beta: float,
+    method: str,
+    seed: int,
+    bound_options: Mapping[str, object],
+    *,
+    validate: bool = False,
+) -> tuple:
+    """The hashable identity of one decomposition request.
+
+    Two requests share a cache entry (and coalesce while in flight) iff
+    their keys are equal.  Canonicalisation applied by the server before
+    calling this: ``method`` is the registry name after ``"auto"``
+    resolution, and ``bound_options`` is ``MethodSpec.bind(options)`` —
+    defaults *not* filled in, pinned values merged — so ``{}`` and an
+    explicitly-passed default value are distinct keys (both are correct;
+    they just memoize separately), while alias methods that pin options
+    still key on their own method name.  ``validate`` joins the key
+    because a validated run's summary carries the invariant report; the
+    assignment arrays are identical either way.
+    """
+    return (
+        str(graph_digest),
+        float(beta),
+        str(method),
+        int(seed),
+        tuple(sorted((str(k), v) for k, v in bound_options.items())),
+        bool(validate),
+    )

@@ -1,0 +1,525 @@
+"""`DecompositionServer` — the async serving surface over the batch runtime.
+
+One asyncio event loop owns the registries (graph store, result cache,
+in-flight table) and streams requests into a
+:class:`~repro.runtime.pool.DecompositionPool`; the worker processes do the
+actual decompositions, so the loop is free to multiplex connections.  Three
+layers keep repeat traffic cheap:
+
+1. **content-addressed store** — a graph is uploaded once, registered in
+   shared memory under its digest, and referenced by digest thereafter;
+2. **memoizing cache** — results are keyed by the canonical request tuple
+   (:func:`~repro.serve.protocol.canonical_cache_key`); derandomized
+   decompositions make a warm hit byte-identical to recomputation;
+3. **coalescing** — N concurrent identical requests await one pool
+   execution (the in-flight future), costing one worker slot, not N.
+
+Registry mutations (upload, cache insert, coalesce bookkeeping) happen only
+on the event loop — single-threaded by construction, no locks.  The wire
+protocol is documented in :mod:`repro.serve.protocol` and DESIGN.md §7.
+
+Lifecycle: :meth:`DecompositionServer.run_async` inside an event loop you
+own, or :func:`serve_background` for a daemon-thread server in tests,
+benchmarks, and notebooks.  ``idle_ttl`` arms a watchdog that shuts the
+server down after that many seconds without a frame — the guard rail for
+CI-spawned servers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.engine import DEFAULT_METHODS, PartitionResult, _resolve
+from repro.core.weighted import WeightedDecomposition
+from repro.errors import ParameterError, ReproError, ServeError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.io import GRAPH_FORMATS, parse_graph
+from repro.core.registry import describe_methods
+from repro.runtime.pool import DecompositionPool
+from repro.serve.cache import DEFAULT_MAX_BYTES, ResultCache
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    canonical_cache_key,
+    decode_frame_body,
+    encode_array,
+    encode_frame,
+    parse_frame_length,
+)
+from repro.serve.store import GraphStore, graph_digest
+
+__all__ = ["DecompositionServer", "serve_background"]
+
+
+@dataclass(frozen=True)
+class _SlimResult:
+    """What the cache holds: the response payload minus per-request flags."""
+
+    kind: str
+    center: np.ndarray
+    per_vertex: np.ndarray
+    summary: dict
+    nbytes: int
+
+
+def _slim_from_result(result: PartitionResult) -> _SlimResult:
+    decomposition = result.decomposition
+    if isinstance(decomposition, WeightedDecomposition):
+        kind, per_vertex = "weighted", decomposition.radius
+    else:
+        kind, per_vertex = "unweighted", decomposition.hops
+    summary = result.summary()
+    if result.report is not None:
+        summary["invariants_ok"] = result.report.all_invariants_hold()
+    return _SlimResult(
+        kind=kind,
+        center=decomposition.center,
+        per_vertex=per_vertex,
+        summary=summary,
+        nbytes=int(decomposition.center.nbytes + per_vertex.nbytes),
+    )
+
+
+class DecompositionServer:
+    """Async JSON-over-TCP decomposition service.
+
+    Parameters
+    ----------
+    graphs:
+        Optional graph(s) to preload into the store at startup (their
+        digests are in :attr:`preloaded`); clients can always upload more.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    max_workers, start_method:
+        Forwarded to the owned :class:`DecompositionPool`.
+    cache_bytes:
+        Result-cache byte budget (0 disables memoization but keeps
+        coalescing).
+    idle_ttl:
+        Shut down after this many seconds without any client frame.
+    """
+
+    def __init__(
+        self,
+        graphs: CSRGraph | list[CSRGraph] | tuple[CSRGraph, ...] | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        cache_bytes: int = DEFAULT_MAX_BYTES,
+        idle_ttl: float | None = None,
+    ) -> None:
+        if isinstance(graphs, CSRGraph):
+            graphs = [graphs]
+        self._preload = list(graphs or [])
+        self._host = host
+        self._port = int(port)
+        self._max_workers = max_workers
+        self._start_method = start_method
+        self._cache_bytes = int(cache_bytes)
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise ParameterError(f"idle_ttl must be > 0, got {idle_ttl}")
+        self._idle_ttl = idle_ttl
+
+        self._pool: DecompositionPool | None = None
+        self._store: GraphStore | None = None
+        self._cache = ResultCache(self._cache_bytes)
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._started_at = time.monotonic()
+        self._last_activity = time.monotonic()
+        self.address: tuple[str, int] | None = None
+        self.preloaded: tuple[str, ...] = ()
+
+        self._connections = 0
+        self._requests_total = 0
+        self._decompose_requests = 0
+        self._coalesced = 0
+        self._pool_executions = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Start the pool, preload graphs, bind the listener."""
+        if self._server is not None:
+            raise ServeError("server is already started")
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._pool = DecompositionPool(
+            max_workers=self._max_workers,
+            start_method=self._start_method,
+        )
+        try:
+            self._store = GraphStore(self._pool)
+            self.preloaded = tuple(
+                self._store.put(graph)[0] for graph in self._preload
+            )
+            self._server = await asyncio.start_server(
+                self._handle_connection, self._host, self._port
+            )
+        except BaseException:
+            self._pool.shutdown()
+            self._pool = None
+            raise
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        self._started_at = time.monotonic()
+        self._touch()
+        if self._idle_ttl is not None:
+            task = self._loop.create_task(self._ttl_watchdog())
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        return self.address
+
+    async def run_async(self, *, ready=None) -> None:
+        """Start, signal ``ready``, serve until shutdown, then clean up.
+
+        ``ready`` may be a :class:`threading.Event` (its ``set`` is called)
+        or any zero-argument callable (the CLI prints the bound address);
+        either fires after :attr:`address` is populated.
+        """
+        await self.start()
+        if ready is not None:
+            getattr(ready, "set", ready)()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.aclose()
+
+    def request_shutdown(self) -> None:
+        """Ask the server to stop; safe to call from any thread."""
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:  # loop already closed
+            pass
+
+    async def aclose(self) -> None:
+        """Stop listening, drop connections, shut the pool down."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _touch(self) -> None:
+        self._last_activity = time.monotonic()
+
+    async def _ttl_watchdog(self) -> None:
+        while not self._stop_event.is_set():
+            if self._inflight:
+                # A pool execution in progress is activity even when no
+                # frames arrive — never shut down under a working client.
+                self._touch()
+            idle = time.monotonic() - self._last_activity
+            if idle >= self._idle_ttl:
+                self._stop_event.set()
+                return
+            await asyncio.sleep(
+                max(0.05, min(self._idle_ttl - idle, self._idle_ttl / 4))
+            )
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._connections += 1
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                    length = parse_frame_length(header)
+                    body = await reader.readexactly(length)
+                    self._touch()
+                    message = decode_frame_body(body)
+                except asyncio.IncompleteReadError:
+                    return  # client hung up at (or inside) a frame boundary
+                except ServeError as exc:
+                    # Oversized announcement or unparsable body: answer
+                    # with an error frame, then drop the stream — after a
+                    # framing violation it cannot be trusted.
+                    writer.write(encode_frame({
+                        "ok": False,
+                        "error": "ServeError",
+                        "message": str(exc),
+                    }))
+                    await writer.drain()
+                    return
+                response = await self._dispatch(message)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, message: dict) -> dict:
+        self._requests_total += 1
+        op = message.get("op")
+        handler = self._OPS.get(op)
+        try:
+            if handler is None:
+                raise ParameterError(
+                    f"unknown op {op!r}; choices: {sorted(self._OPS)}"
+                )
+            return await handler(self, message)
+        except ReproError as exc:
+            self._errors += 1
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        except Exception as exc:  # pragma: no cover - defensive
+            self._errors += 1
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": f"internal server error: {exc}",
+            }
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def _op_hello(self, message: dict) -> dict:
+        return {
+            "ok": True,
+            "server": "repro.serve",
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "methods": describe_methods(),
+            "default_methods": dict(DEFAULT_METHODS),
+            "formats": list(GRAPH_FORMATS),
+            "graphs": list(self._store.digests),
+        }
+
+    async def _op_upload(self, message: dict) -> dict:
+        payload = message.get("payload")
+        if not isinstance(payload, str):
+            raise ParameterError(
+                "upload needs a string 'payload' holding the serialised "
+                "graph"
+            )
+        fmt = message.get("format", "auto")
+        if not isinstance(fmt, str):
+            raise ParameterError("upload 'format' must be a string")
+
+        # Parsing and hashing are the CPU-heavy parts of an upload; run
+        # them off-loop so a multi-megabyte graph does not stall
+        # concurrent decompositions.  Only the registry mutation (and its
+        # copy into shared memory) stays on the loop.
+        def _parse_and_hash():
+            graph = parse_graph(payload, fmt, source=f"<upload:{fmt}>")
+            return graph, graph_digest(graph)
+
+        graph, digest = await self._loop.run_in_executor(
+            None, _parse_and_hash
+        )
+        digest, known = self._store.put(graph, digest=digest)
+        from repro.graphs.weighted import WeightedCSRGraph
+
+        return {
+            "ok": True,
+            "digest": digest,
+            "known": known,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "weighted": isinstance(graph, WeightedCSRGraph),
+        }
+
+    async def _op_decompose(self, message: dict) -> dict:
+        self._decompose_requests += 1
+        digest = message.get("digest")
+        if not isinstance(digest, str):
+            raise ParameterError(
+                "decompose needs a string 'digest' (upload the graph first)"
+            )
+        graph = self._store.get(digest)
+        if "beta" not in message:
+            raise ParameterError("decompose needs 'beta'")
+        beta = message["beta"]
+        if isinstance(beta, bool) or not isinstance(beta, (int, float)):
+            raise ParameterError(
+                f"'beta' must be a number, got {type(beta).__name__}"
+            )
+        seed = message.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ParameterError(
+                f"'seed' must be an integer (reproducibility is keyed on "
+                f"it), got {type(seed).__name__}"
+            )
+        validate = bool(message.get("validate", False))
+        options = message.get("options") or {}
+        if not isinstance(options, dict):
+            raise ParameterError(
+                f"'options' must be an object, got {type(options).__name__}"
+            )
+        method = message.get("method", "auto")
+        spec = _resolve(graph, method)
+        bound = spec.bind(options)
+        key = canonical_cache_key(
+            digest, float(beta), spec.name, seed, bound, validate=validate
+        )
+
+        slim = self._cache.get(key)
+        if slim is not None:
+            return self._decompose_response(
+                digest, slim, cached=True, coalesced=False
+            )
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self._coalesced += 1
+            # shield: one impatient client's cancellation must not abort
+            # the execution its coalesced peers are waiting on.
+            slim = await asyncio.shield(inflight)
+            return self._decompose_response(
+                digest, slim, cached=False, coalesced=True
+            )
+
+        future = self._loop.create_future()
+        self._inflight[key] = future
+        try:
+            self._pool_executions += 1
+            result = await asyncio.wrap_future(
+                self._pool.submit(
+                    digest,
+                    float(beta),
+                    method=spec.name,
+                    seed=seed,
+                    validate=validate,
+                    **options,
+                )
+            )
+            slim = _slim_from_result(result)
+            self._cache.put(key, slim, slim.nbytes)
+            if not future.done():
+                future.set_result(slim)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved: waiters get their copy
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        return self._decompose_response(
+            digest, slim, cached=False, coalesced=False
+        )
+
+    def _decompose_response(
+        self, digest: str, slim: _SlimResult, *, cached: bool, coalesced: bool
+    ) -> dict:
+        return {
+            "ok": True,
+            "digest": digest,
+            "kind": slim.kind,
+            "cached": cached,
+            "coalesced": coalesced,
+            "summary": dict(slim.summary),
+            "center": encode_array(slim.center),
+            "per_vertex": encode_array(slim.per_vertex),
+        }
+
+    async def _op_stats(self, message: dict) -> dict:
+        return {
+            "ok": True,
+            "server": {
+                "uptime_s": time.monotonic() - self._started_at,
+                "connections": self._connections,
+                "requests_total": self._requests_total,
+                "decompose_requests": self._decompose_requests,
+                "coalesced": self._coalesced,
+                "pool_executions": self._pool_executions,
+                "errors": self._errors,
+                "inflight": len(self._inflight),
+            },
+            "cache": self._cache.stats(),
+            "store": self._store.stats(),
+            "pool": self._pool.stats(),
+        }
+
+    async def _op_shutdown(self, message: dict) -> dict:
+        # The response is written before the connection loop reads again;
+        # run_async then tears everything down.
+        self._stop_event.set()
+        return {"ok": True, "stopping": True}
+
+    _OPS = {
+        "hello": _op_hello,
+        "upload": _op_upload,
+        "decompose": _op_decompose,
+        "stats": _op_stats,
+        "shutdown": _op_shutdown,
+    }
+
+
+@contextmanager
+def serve_background(graphs=None, **kwargs):
+    """A :class:`DecompositionServer` on a daemon thread, as a context.
+
+    Yields the started server (``server.address`` is the bound
+    ``(host, port)``).  Used by tests, benchmarks, and notebook sessions
+    where the client lives in the same process::
+
+        with serve_background(graph) as server:
+            with ServeClient(*server.address) as client:
+                ...
+
+    On exit the server is asked to shut down and the thread joined.
+    """
+    server = DecompositionServer(graphs, **kwargs)
+    ready = threading.Event()
+    failure: list[BaseException] = []
+
+    def _runner() -> None:
+        try:
+            asyncio.run(server.run_async(ready=ready))
+        except BaseException as exc:  # pragma: no cover - startup failure
+            failure.append(exc)
+        finally:
+            ready.set()
+
+    thread = threading.Thread(
+        target=_runner, daemon=True, name="repro-serve"
+    )
+    thread.start()
+    ready.wait(timeout=60)
+    if failure:
+        raise failure[0]
+    if server.address is None:
+        raise ServeError("decomposition server failed to start")
+    try:
+        yield server
+    finally:
+        server.request_shutdown()
+        thread.join(timeout=60)

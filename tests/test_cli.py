@@ -153,6 +153,187 @@ class TestMethods:
         out = capsys.readouterr().out
         assert "bfs" in out and "blelloch" in out and "grid" in out
 
+    def test_json_registry_dump(self, capsys):
+        assert main(["methods", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {m["name"] for m in doc["methods"]}
+        assert {"bfs", "dijkstra", "sequential"} <= names
+        bfs = next(m for m in doc["methods"] if m["name"] == "bfs")
+        option_names = {o["name"] for o in bfs["options"]}
+        assert "tie_break" in option_names
+        assert "grid" in doc["generators"]
+        assert "uniform" in doc["weight_schemes"]
+
+    def test_json_dump_matches_registry(self, capsys):
+        from repro.core.registry import describe_methods
+
+        assert main(["methods", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["methods"] == describe_methods()
+
+
+class TestServeAndRequest:
+    """Drive the serve/request subcommands against an in-process server."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.serve import serve_background
+
+        with serve_background(max_workers=1) as server:
+            yield server
+
+    def _connect(self, server) -> str:
+        host, port = server.address
+        return f"{host}:{port}"
+
+    def test_request_upload_and_decompose(self, server, capsys):
+        connect = self._connect(server)
+        argv = [
+            "request", "--connect", connect, "--graph", "grid:10x10",
+            "--beta", "0.3", "--seed", "2", "--json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cached"] is False
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cached"] is True
+        assert second["result_digest"] == first["result_digest"]
+        assert second["digest"] == first["digest"]
+
+    def test_request_with_digest_and_options(self, server, capsys):
+        connect = self._connect(server)
+        assert main([
+            "request", "--connect", connect, "--graph", "grid:8x8",
+            "--beta", "0.3", "--json",
+        ]) == 0
+        digest = json.loads(capsys.readouterr().out)["digest"]
+        assert main([
+            "request", "--connect", connect, "--digest", digest,
+            "--beta", "0.3", "--method", "bfs",
+            "--option", "tie_break=permutation", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["method"] == "bfs-permutation"
+
+    def test_request_option_with_auto_digest_needs_method(
+        self, server, capsys
+    ):
+        connect = self._connect(server)
+        assert main([
+            "request", "--connect", connect, "--graph", "grid:8x8",
+            "--beta", "0.3", "--json",
+        ]) == 0
+        digest = json.loads(capsys.readouterr().out)["digest"]
+        code = main([
+            "request", "--connect", connect, "--digest", digest,
+            "--beta", "0.3", "--option", "tie_break=quantile",
+        ])
+        assert code == 2
+        assert "explicit --method" in capsys.readouterr().err
+
+    def test_request_seed_sweep_reuses_one_graph(self, server, capsys):
+        """--seed is the decomposition seed only: sweeping it over a
+        random generator spec must hit one resident graph, not re-upload
+        a differently-generated graph per seed."""
+        connect = self._connect(server)
+        digests = []
+        for seed in (1, 2):
+            assert main([
+                "request", "--connect", connect, "--graph", "er:40,0.2",
+                "--beta", "0.3", "--seed", str(seed), "--json",
+            ]) == 0
+            digests.append(json.loads(capsys.readouterr().out)["digest"])
+        assert digests[0] == digests[1]
+
+    def test_request_graph_file(self, server, tmp_path, capsys):
+        from repro.graphs.generators import erdos_renyi
+        from repro.graphs.io import write_edge_list
+
+        graph_path = tmp_path / "g.edges"
+        write_edge_list(erdos_renyi(30, 0.2, seed=1), graph_path)
+        assert main([
+            "request", "--connect", self._connect(server),
+            "--graph-file", str(graph_path), "--beta", "0.3", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "unweighted"
+
+    def test_request_stats_and_hello(self, server, capsys):
+        connect = self._connect(server)
+        assert main(["request", "--connect", connect, "--stats",
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "cache" in stats and "pool" in stats
+        assert main(["request", "--connect", connect, "--hello",
+                     "--json"]) == 0
+        hello = json.loads(capsys.readouterr().out)
+        assert any(m["name"] == "bfs" for m in hello["methods"])
+
+    def test_request_without_beta_is_cli_error(self, server, capsys):
+        code = main([
+            "request", "--connect", self._connect(server),
+            "--graph", "grid:5x5",
+        ])
+        assert code == 2
+        assert "--beta" in capsys.readouterr().err
+
+    def test_request_bad_connect_spec(self, capsys):
+        assert main(["request", "--connect", "nohost", "--stats"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_request_connection_refused_is_cli_error(self, capsys):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        code = main([
+            "request", "--connect", f"127.0.0.1:{port}", "--stats",
+            "--timeout", "2",
+        ])
+        assert code == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_serve_subcommand_end_to_end(self, tmp_path, capsys):
+        """`repro serve` in a thread, driven by `repro request`, stopped
+        by --shutdown — the CI smoke path, in-process."""
+        import threading
+        import time
+
+        port_file = tmp_path / "port"
+        exit_codes: list[int] = []
+
+        def run_server() -> None:
+            exit_codes.append(main([
+                "serve", "--port", "0", "--port-file", str(port_file),
+                "--graph", "grid:12x12", "--workers", "1", "--ttl", "60",
+            ]))
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and not port_file.exists():
+            time.sleep(0.05)
+        assert port_file.exists(), "server never wrote its port file"
+        port = int(port_file.read_text().strip())
+        connect = f"127.0.0.1:{port}"
+        try:
+            assert main([
+                "request", "--connect", connect, "--graph", "grid:12x12",
+                "--beta", "0.25", "--json",
+            ]) == 0
+        finally:
+            assert main(["request", "--connect", connect,
+                         "--shutdown"]) == 0
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert exit_codes == [0]
+        out = capsys.readouterr().out
+        assert "listening" in out
+        assert '"cached": false' in out
+
 
 class TestBenchThroughput:
     ARGS = [

@@ -71,3 +71,9 @@ def test_parallel_backends(capsys):
     out = run_example("parallel_backends.py", [], capsys)
     assert "identical=True" in out
     assert "Brent" in out
+
+
+def test_serve_quickstart(capsys):
+    out = run_example("serve_quickstart.py", ["20"], capsys)
+    assert "reruns cached: True" in out
+    assert "hits" in out

@@ -5,17 +5,32 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import GraphError
+from repro.errors import GraphError, ParameterError
 from repro.graphs.build import from_edges
 from repro.graphs.generators import erdos_renyi, grid_2d, path_graph
 from repro.graphs.io import (
     from_json,
+    load_graph,
+    parse_graph,
     read_edge_list,
     read_metis,
     to_json,
     write_edge_list,
     write_metis,
 )
+from repro.graphs.weighted import WeightedCSRGraph, weights_by_name
+
+
+def weighted_fixture() -> WeightedCSRGraph:
+    """A weighted graph with irrational-ish float64 weights — the round
+    trips below must preserve them bit-for-bit."""
+    return weights_by_name(erdos_renyi(30, 0.15, seed=7), "exp:1.3", seed=11)
+
+
+def assert_weighted_equal(a: WeightedCSRGraph, b: WeightedCSRGraph) -> None:
+    assert isinstance(a, WeightedCSRGraph)
+    assert a == b  # topology
+    np.testing.assert_array_equal(a.weights, b.weights)  # exact, not close
 
 
 class TestEdgeList:
@@ -84,3 +99,227 @@ class TestJson:
         doc = json.loads(to_json(grid_2d(2, 2)))
         assert doc["num_vertices"] == 4
         assert len(doc["edges"]) == 4
+
+    def test_invalid_json_reports_position(self):
+        with pytest.raises(GraphError, match="line 1"):
+            from_json("{not json", source="payload")
+
+    def test_missing_keys(self):
+        with pytest.raises(GraphError, match="num_vertices"):
+            from_json('{"edges": []}')
+
+    def test_non_object_document(self):
+        with pytest.raises(GraphError, match="JSON object"):
+            from_json("[1, 2]")
+
+
+class TestWeightedRoundTrips:
+    """Every format must round-trip weighted graphs bit-for-bit."""
+
+    def test_edge_list(self, tmp_path):
+        g = weighted_fixture()
+        path = tmp_path / "w.edges"
+        write_edge_list(g, path)
+        assert_weighted_equal(read_edge_list(path), g)
+
+    def test_metis(self, tmp_path):
+        g = weighted_fixture()
+        path = tmp_path / "w.metis"
+        write_metis(g, path)
+        assert_weighted_equal(read_metis(path), g)
+
+    def test_json(self):
+        g = weighted_fixture()
+        assert_weighted_equal(from_json(to_json(g)), g)
+
+    def test_unit_weights_survive_each_format(self, tmp_path):
+        g = weights_by_name(grid_2d(4, 5), "unit:2.5")
+        for name, write, read in (
+            ("u.edges", write_edge_list, read_edge_list),
+            ("u.metis", write_metis, read_metis),
+        ):
+            path = tmp_path / name
+            write(g, path)
+            assert_weighted_equal(read(path), g)
+        assert_weighted_equal(from_json(to_json(g)), g)
+
+    def test_zero_edge_weighted_graph_survives_each_format(self, tmp_path):
+        from repro.graphs.weighted import weighted_from_edges
+
+        g = weighted_from_edges(3, np.zeros((0, 2)), np.zeros(0))
+        for name, write, read in (
+            ("e.edges", write_edge_list, read_edge_list),
+            ("e.metis", write_metis, read_metis),
+        ):
+            path = tmp_path / name
+            write(g, path)
+            back = read(path)
+            assert isinstance(back, WeightedCSRGraph), name
+            assert back.num_vertices == 3 and back.num_edges == 0
+        assert isinstance(from_json(to_json(g)), WeightedCSRGraph)
+
+    def test_metis_weighted_header_code(self, tmp_path):
+        path = tmp_path / "w.metis"
+        write_metis(weighted_fixture(), path)
+        assert path.read_text().splitlines()[0].endswith(" 001")
+
+    def test_metis_asymmetric_weights_rejected(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1 001\n2 1.0\n1 2.0\n")
+        with pytest.raises(GraphError, match="weights are not symmetric"):
+            read_metis(path)
+
+    def test_metis_unsupported_fmt_code(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1 011\n2 1\n1 1\n")
+        with pytest.raises(GraphError, match="unsupported METIS fmt"):
+            read_metis(path)
+
+
+class TestErrorLineNumbers:
+    """Malformed inputs raise GraphError naming source:line, never a raw
+    ValueError from int()/float()."""
+
+    def test_edge_list_bad_endpoint(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("3 2\n0 1\n0 x\n")
+        with pytest.raises(GraphError, match=r"bad\.edges:3.*integer"):
+            read_edge_list(path)
+
+    def test_edge_list_bad_header(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("three two\n")
+        with pytest.raises(GraphError, match=r"bad\.edges:1.*integer"):
+            read_edge_list(path)
+
+    def test_edge_list_bad_weight(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("3 2\n0 1 1.5\n1 2 heavy\n")
+        with pytest.raises(GraphError, match=r"bad\.edges:3.*number"):
+            read_edge_list(path)
+
+    def test_edge_list_too_many_rows(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("3 1\n0 1\n1 2\n")
+        with pytest.raises(GraphError, match=r"bad\.edges:3.*mismatch"):
+            read_edge_list(path)
+
+    def test_metis_bad_neighbor(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1\n2\nzzz\n")
+        with pytest.raises(GraphError, match=r"bad\.metis:3.*integer"):
+            read_metis(path)
+
+    def test_metis_comment_lines_keep_numbering(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("% header comment\n2 1\n2\nzzz\n")
+        with pytest.raises(GraphError, match=r"bad\.metis:4"):
+            read_metis(path)
+
+    def test_negative_header_counts_rejected(self):
+        # Must be GraphError, never a raw ValueError/IndexError escaping
+        # the parser (the serve upload path relies on this).
+        with pytest.raises(GraphError, match="edge count must be >= 0"):
+            parse_graph("3 -2\n0 1\n", format="edges")
+        with pytest.raises(GraphError, match="vertex count must be >= 0"):
+            parse_graph("-3 0\n", format="metis")
+        with pytest.raises(GraphError, match="edge count must be >= 0"):
+            parse_graph("2 -1\n\n\n", format="metis")
+
+    def test_huge_edge_count_rejected_before_allocation(self):
+        # A tiny payload whose header promises 10^12 edges must fail on
+        # the line-count check, not attempt a 16 TB allocation.
+        with pytest.raises(GraphError, match="only .* lines"):
+            parse_graph("1 1000000000000\n0 1\n", format="edges")
+
+
+class TestLoadGraph:
+    def test_dispatch_by_extension(self, tmp_path):
+        g = grid_2d(4, 4)
+        edges = tmp_path / "g.edges"
+        metis = tmp_path / "g.metis"
+        as_json = tmp_path / "g.json"
+        write_edge_list(g, edges)
+        write_metis(g, metis)
+        as_json.write_text(to_json(g))
+        for path in (edges, metis, as_json):
+            assert load_graph(path) == g
+
+    def test_sniffs_unknown_extension(self, tmp_path):
+        g = erdos_renyi(25, 0.2, seed=4)
+        for writer, name in (
+            (write_edge_list, "a.dat"),
+            (write_metis, "b.dat"),
+        ):
+            path = tmp_path / name
+            writer(g, path)
+            assert load_graph(path) == g
+        j = tmp_path / "c.dat"
+        j.write_text(to_json(g))
+        assert load_graph(j) == g
+
+    def test_sniffs_weighted_metis(self, tmp_path):
+        # Weighted METIS has a 3-token header, the unambiguous sniff case.
+        g = weighted_fixture()
+        path = tmp_path / "w.dat"
+        write_metis(g, path)
+        assert_weighted_equal(load_graph(path), g)
+
+    def test_explicit_format_overrides_extension(self, tmp_path):
+        g = path_graph(6)
+        path = tmp_path / "g.json"  # extension lies
+        write_edge_list(g, path)
+        assert load_graph(path, format="edges") == g
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="unknown graph format"):
+            load_graph(tmp_path / "g.edges", format="graphml")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphError, match="cannot read"):
+            load_graph(tmp_path / "nope.edges")
+
+    def test_unparsable_content_lists_formats(self, tmp_path):
+        path = tmp_path / "junk.dat"
+        path.write_text("not graph\nat all\n")  # 2-token lines: ambiguous
+        with pytest.raises(GraphError, match="not parsable"):
+            load_graph(path)
+
+    def test_unparsable_metis_shaped_content_keeps_line(self, tmp_path):
+        path = tmp_path / "junk.dat"
+        path.write_text("this is not\na graph at all\n")  # 3-token: metis
+        with pytest.raises(GraphError, match=r"junk\.dat:1"):
+            load_graph(path)
+
+    def test_parse_graph_round_trip_from_text(self):
+        g = grid_2d(3, 3)
+        assert parse_graph(to_json(g)) == g
+
+    def test_format_for_path(self):
+        from repro.graphs import format_for_path
+
+        assert format_for_path("a/b.metis") == "metis"
+        assert format_for_path("c.EDGES") == "edges"
+        assert format_for_path("d.json") == "json"
+        assert format_for_path("e.dat") == "auto"
+
+    def test_unified_entry_points_exported_from_package(self):
+        from repro.graphs import load_graph as lg, parse_graph as pg
+
+        assert lg is load_graph and pg is parse_graph
+
+    def test_ambiguous_text_refuses_to_guess(self):
+        # Valid as METIS (triangle on vertices 1-3, vertex 4 isolated) AND
+        # as an edge list (a different triangle on vertices 1-3 of 4):
+        # auto must refuse rather than silently pick one.
+        text = "4 3\n2 3\n1 3\n1 2\n\n"
+        with pytest.raises(GraphError, match="ambiguous"):
+            parse_graph(text)
+        as_metis = parse_graph(text, format="metis")
+        as_edges = parse_graph(text, format="edges")
+        assert as_metis != as_edges  # the ambiguity is real
+        assert as_metis.has_edge(0, 1) and not as_edges.has_edge(0, 1)
+
+    def test_ambiguous_but_identical_parses_fine(self):
+        # Both interpretations yield the empty graph — no ambiguity.
+        assert parse_graph("0 0\n").num_vertices == 0

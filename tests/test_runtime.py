@@ -251,15 +251,137 @@ class TestDecompositionPool:
             pool.run([DecompositionRequest(graph_key="0", beta=0.3)])
         pool.shutdown()  # idempotent
 
-    def test_rejects_empty_and_bad_inputs(self):
-        with pytest.raises(ParameterError, match="at least one graph"):
-            DecompositionPool({})
+    def test_rejects_bad_inputs(self):
         with pytest.raises(ParameterError, match="not a CSRGraph"):
             DecompositionPool({"g": object()})
         with pytest.raises(ParameterError, match="strings"):
             DecompositionPool({0: grid_2d(3, 3)})
         with pytest.raises(ParameterError, match="max_workers"):
             DecompositionPool(grid_2d(3, 3), max_workers=0)
+
+    def test_empty_pool_allowed_for_late_registration(self):
+        """A pool may start with no graphs: the serving layer registers
+        uploads long after the workers exist."""
+        with DecompositionPool(max_workers=1) as pool:
+            assert pool.graph_keys == ()
+            with pytest.raises(ParameterError, match="unknown graph key"):
+                pool.submit("g", 0.3)
+            pool.register_graph("g", grid_2d(6, 6))
+            result = pool.decompose("g", 0.3, seed=1)
+            assert result.decomposition.num_pieces >= 1
+
+
+class TestLiveRegistration:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_register_on_live_pool_matches_serial(self, start_method):
+        """Graphs registered after worker startup must decompose
+        bit-identically to serial under both start methods (the lazy
+        attach-by-descriptor path)."""
+        first = grid_2d(8, 8)
+        late = erdos_renyi(60, 0.1, seed=3)
+        with DecompositionPool(
+            {"first": first}, max_workers=1, start_method=start_method
+        ) as pool:
+            # Warm the worker on the construction-time graph first, so the
+            # late registration exercises attach-after-start.
+            pool.decompose("first", 0.3, seed=0)
+            pool.register_graph("late", late)
+            assert pool.graph_keys == ("first", "late")
+            pooled = pool.decompose("late", 0.3, seed=5)
+            serial = decompose(late, 0.3, seed=5)
+            np.testing.assert_array_equal(
+                pooled.decomposition.center, serial.decomposition.center
+            )
+            np.testing.assert_array_equal(
+                pooled.decomposition.hops, serial.decomposition.hops
+            )
+            assert pooled.decomposition.graph is late
+
+    def test_register_weighted_on_live_pool(self):
+        graph = weights_by_name(grid_2d(6, 6), "uniform:0.5,2.0", seed=1)
+        with DecompositionPool(max_workers=1) as pool:
+            pool.register_graph("w", graph)
+            pooled = pool.decompose("w", 0.2, seed=4)
+        serial = decompose(graph, 0.2, seed=4)
+        np.testing.assert_array_equal(
+            pooled.decomposition.radius, serial.decomposition.radius
+        )
+
+    def test_unregister_then_reregister_same_key(self):
+        """A key re-registered under a fresh segment must serve the new
+        graph — workers detect the segment change and re-attach."""
+        a, b = grid_2d(5, 5), path_graph(30)
+        with DecompositionPool({"g": a}, max_workers=1) as pool:
+            res_a = pool.decompose("g", 0.3, seed=2)
+            assert res_a.decomposition.graph is a
+            pool.unregister_graph("g")
+            with pytest.raises(ParameterError, match="unknown graph key"):
+                pool.submit("g", 0.3)
+            pool.register_graph("g", b)
+            res_b = pool.decompose("g", 0.3, seed=2)
+            assert res_b.decomposition.graph is b
+            serial = decompose(b, 0.3, seed=2)
+            np.testing.assert_array_equal(
+                res_b.decomposition.center, serial.decomposition.center
+            )
+
+    def test_unregister_unlinks_segment(self):
+        with DecompositionPool({"g": grid_2d(4, 4)}) as pool:
+            descriptor = pool._shared["g"].descriptor
+            pool.unregister_graph("g")
+            with pytest.raises(ParameterError, match="does not exist"):
+                attach_shared(descriptor)
+            assert pool.shared_nbytes() == 0
+
+    def test_register_rejects_duplicates_and_bad_inputs(self):
+        with DecompositionPool({"g": grid_2d(4, 4)}) as pool:
+            with pytest.raises(ParameterError, match="already registered"):
+                pool.register_graph("g", grid_2d(3, 3))
+            with pytest.raises(ParameterError, match="strings"):
+                pool.register_graph(7, grid_2d(3, 3))
+            with pytest.raises(ParameterError, match="not a CSRGraph"):
+                pool.register_graph("h", object())
+            with pytest.raises(ParameterError, match="unknown graph key"):
+                pool.unregister_graph("nope")
+        with pytest.raises(ParameterError, match="shut down"):
+            pool.register_graph("h", grid_2d(3, 3))
+
+    def test_stats_counters(self):
+        graph = grid_2d(6, 6)
+        with DecompositionPool(graph, max_workers=1) as pool:
+            base = pool.stats()
+            assert base["submitted"] == 0 and base["graphs"] == 1
+            assert base["shared_bytes"] == pool.shared_nbytes()
+            pool.decompose("0", 0.3, seed=0)
+            pool.run(
+                [DecompositionRequest(graph_key="0", beta=0.3, seed=s)
+                 for s in (1, 2)]
+            )
+            stats = pool.stats()
+            assert stats["submitted"] == 3
+            assert stats["completed"] == 3
+            assert stats["failed"] == 0
+            assert not stats["closed"]
+        assert pool.stats()["closed"]
+
+    def test_stats_batch_failure_counts_per_request(self):
+        """A failing request mid-batch must not mark the already-yielded
+        successes as failed."""
+        graph = grid_2d(6, 6)
+        with DecompositionPool(graph, max_workers=1) as pool:
+            requests = [
+                DecompositionRequest(graph_key="0", beta=0.3, seed=0),
+                DecompositionRequest(graph_key="0", beta=-1.0, seed=1),
+                DecompositionRequest(graph_key="0", beta=0.3, seed=2),
+            ]
+            with pytest.raises(Exception):
+                # beta is validated inside the method, worker-side; the
+                # pool surfaces the per-request exception from map().
+                pool.run(requests, chunksize=1)
+            stats = pool.stats()
+            assert stats["submitted"] == 3
+            assert stats["completed"] == 1  # seed=0 finished first
+            assert stats["failed"] == 2  # the bad one + the never-yielded one
 
 
 class TestEngineSharedExecutor:
