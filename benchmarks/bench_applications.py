@@ -1,16 +1,24 @@
 """Experiments BD, LST, SPAN, EMB — the application-layer reproductions.
 
 Each of the applications the paper's introduction motivates consumes the
-decomposition through the public API; these benches regenerate the headline
-quantity of each:
+decomposition through the public API (the pipeline layer: every
+decomposition goes through a shared, memoizing
+:class:`~repro.pipeline.EngineProvider`); these benches regenerate the
+headline quantity of each:
 
 - BD:   Linial–Saks blocks — count vs the ⌈log₂ m⌉ bound (paper §2);
 - LST:  AKPW low-stretch trees — average stretch vs the BFS-tree baseline;
 - SPAN: cluster spanners — size/stretch trade-off across β;
 - EMB:  HST embeddings — expected distortion across graph families.
+
+``REPRO_BENCH_SMOKE=1`` shrinks every family to a seconds-fast
+path-exercise (the CI application-pipeline smoke job) and keeps only the
+structural assertions; statistical comparisons need the full-size graphs.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -25,9 +33,20 @@ from repro.graphs.generators import (
     torus_2d,
 )
 from repro.lowstretch import akpw_spanning_tree, bfs_spanning_tree, stretch_report
+from repro.pipeline import EngineProvider
 from repro.spanners import ldd_spanner, measure_spanner_stretch
 
 from common import Table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+@pytest.fixture(scope="module")
+def provider():
+    """One memoizing provider for the whole module — repeated
+    configurations across tests are cache hits, mirroring production."""
+    with EngineProvider() as prov:
+        yield prov
 
 
 class TestBlockDecomposition:
@@ -36,11 +55,19 @@ class TestBlockDecomposition:
             "BD: Linial-Saks blocks vs ceil(log2 m) (beta=1/2 per round)",
             ["graph", "m", "blocks", "log2_bound", "largest_block_frac"],
         )
-        for name, graph in [
-            ("grid 30x30", grid_2d(30, 30)),
-            ("torus 25x25", torus_2d(25, 25)),
-            ("er n=600", erdos_renyi(600, 0.01, seed=1)),
-        ]:
+        families = (
+            [
+                ("grid 12x12", grid_2d(12, 12)),
+                ("er n=120", erdos_renyi(120, 0.04, seed=1)),
+            ]
+            if SMOKE
+            else [
+                ("grid 30x30", grid_2d(30, 30)),
+                ("torus 25x25", torus_2d(25, 25)),
+                ("er n=600", erdos_renyi(600, 0.01, seed=1)),
+            ]
+        )
+        for name, graph in families:
             bd = block_decomposition(graph, seed=2)
             bound = blockdecomp_iteration_bound(graph.num_edges)
             counts = bd.block_edge_counts()
@@ -55,7 +82,7 @@ class TestBlockDecomposition:
         table.show()
 
     def test_geometric_decay_of_block_sizes(self):
-        graph = grid_2d(30, 30)
+        graph = grid_2d(12, 12) if SMOKE else grid_2d(30, 30)
         bd = block_decomposition(graph, seed=3)
         counts = bd.block_edge_counts().astype(float)
         # Cumulative leftover halves (in expectation) per iteration.
@@ -77,24 +104,30 @@ class TestBlockDecomposition:
 
 
 class TestLowStretchTrees:
-    def test_stretch_vs_bfs_baseline(self):
+    def test_stretch_vs_bfs_baseline(self, provider):
+        seeds = 2 if SMOKE else 5
         table = Table(
-            "LST: AKPW vs BFS-tree average stretch (5 seeds each)",
+            f"LST: AKPW vs BFS-tree average stretch ({seeds} seeds each)",
             ["graph", "akpw_mean", "bfs_mean", "akpw_max", "bfs_max"],
         )
         # Per-family acceptance factors: AKPW should match/beat BFS trees on
         # high-diameter lattices; on hypercubes BFS trees are already near
         # optimal (every vertex at distance ≤ d), so parity-with-slack is
         # the honest expectation.
-        factors = {"torus 16x16": 1.25, "grid 25x25": 1.3, "hypercube 9": 2.0}
-        for name, graph in [
-            ("torus 16x16", torus_2d(16, 16)),
-            ("grid 25x25", grid_2d(25, 25)),
-            ("hypercube 9", hypercube(9)),
-        ]:
+        if SMOKE:
+            families = [("torus 10x10", torus_2d(10, 10), None)]
+        else:
+            families = [
+                ("torus 16x16", torus_2d(16, 16), 1.25),
+                ("grid 25x25", grid_2d(25, 25), 1.3),
+                ("hypercube 9", hypercube(9), 2.0),
+            ]
+        for name, graph, factor in families:
             a_mean, b_mean, a_max, b_max = [], [], [], []
-            for seed in range(5):
-                t1 = akpw_spanning_tree(graph, beta=0.4, seed=seed).forest
+            for seed in range(seeds):
+                t1 = akpw_spanning_tree(
+                    graph, beta=0.4, seed=seed, provider=provider
+                ).forest
                 t2 = bfs_spanning_tree(graph, seed=seed)
                 r1 = stretch_report(graph, t1)
                 r2 = stretch_report(graph, t2)
@@ -109,40 +142,52 @@ class TestLowStretchTrees:
                 float(np.mean(a_max)),
                 float(np.mean(b_max)),
             )
-            # AKPW must at least match the baseline on average stretch.
-            assert np.mean(a_mean) <= np.mean(b_mean) * factors[name]
+            # AKPW must at least match the baseline on average stretch
+            # (full mode only — tiny smoke graphs are too noisy).
+            if factor is not None:
+                assert np.mean(a_mean) <= np.mean(b_mean) * factor
         table.show()
 
-    def test_stretch_vs_beta_tradeoff(self):
-        graph = torus_2d(16, 16)
+    def test_stretch_vs_beta_tradeoff(self, provider):
+        graph = torus_2d(10, 10) if SMOKE else torus_2d(16, 16)
         table = Table(
-            "LST-beta: AKPW stretch and level count vs beta (torus 16x16)",
+            "LST-beta: AKPW stretch and level count vs beta",
             ["beta", "levels", "mean_stretch", "max_stretch"],
         )
         for beta in (0.2, 0.4, 0.6):
-            res = akpw_spanning_tree(graph, beta=beta, seed=7)
+            res = akpw_spanning_tree(
+                graph, beta=beta, seed=7, provider=provider
+            )
             rep = stretch_report(graph, res.forest)
             table.add(beta, res.num_levels, rep.mean, rep.max)
         table.show()
 
     def test_akpw_timing(self, benchmark):
-        graph = grid_2d(25, 25)
-        benchmark(lambda: akpw_spanning_tree(graph, beta=0.4, seed=0))
+        # Memoization disabled: the benchmark must time real levels, not
+        # memo hits (the default provider would answer round 2+ from cache).
+        graph = grid_2d(12, 12) if SMOKE else grid_2d(25, 25)
+        with EngineProvider(memo_bytes=0) as prov:
+            benchmark(
+                lambda: akpw_spanning_tree(
+                    graph, beta=0.4, seed=0, provider=prov
+                )
+            )
 
 
 class TestSpanners:
-    def test_size_stretch_tradeoff(self):
+    def test_size_stretch_tradeoff(self, provider):
         # Hypercube-9: m/n = 4.5, so sparsification is visible.  With
         # ln(n)/β below the diameter (small β) a single piece swallows the
         # cube and the spanner is one BFS tree — the β sweep must reach the
         # fragmenting regime (β ≥ 0.6) to trade size back for stretch.
-        graph = hypercube(9)
+        d = 7 if SMOKE else 9
+        graph = hypercube(d)
         table = Table(
-            "SPAN: spanner size vs stretch across beta (hypercube d=9)",
+            f"SPAN: spanner size vs stretch across beta (hypercube d={d})",
             ["beta", "pieces", "size_ratio", "bound_4r+1", "measured_max", "mean"],
         )
         for beta in (0.1, 0.6, 0.9):
-            res = ldd_spanner(graph, beta, seed=4)
+            res = ldd_spanner(graph, beta, seed=4, provider=provider)
             rep = measure_spanner_stretch(
                 graph, res.spanner, max_sources=60, seed=2
             )
@@ -158,12 +203,12 @@ class TestSpanners:
             assert res.size_ratio() < 0.5  # always well under m
         table.show()
 
-    def test_spanner_on_grid_keeps_most_edges(self):
+    def test_spanner_on_grid_keeps_most_edges(self, provider):
         # Grids are already sparse: the spanner keeps ~n of ~2n edges.
-        graph = grid_2d(30, 30)
-        res = ldd_spanner(graph, 0.1, seed=3)
+        graph = grid_2d(12, 12) if SMOKE else grid_2d(30, 30)
+        res = ldd_spanner(graph, 0.1, seed=3, provider=provider)
         table = Table(
-            "SPAN-grid: composition (grid 30x30, beta=0.1)",
+            "SPAN-grid: composition (beta=0.1)",
             ["tree_edges", "bridge_edges", "total", "orig_m"],
         )
         table.add(
@@ -176,12 +221,14 @@ class TestSpanners:
         assert res.num_edges <= graph.num_edges
 
     def test_spanner_timing(self, benchmark):
-        graph = hypercube(8)
-        benchmark(lambda: ldd_spanner(graph, 0.2, seed=0))
+        # Memoization disabled — time the decomposition, not a cache hit.
+        graph = hypercube(6 if SMOKE else 8)
+        with EngineProvider(memo_bytes=0) as prov:
+            benchmark(lambda: ldd_spanner(graph, 0.2, seed=0, provider=prov))
 
 
 class TestEmbeddings:
-    def test_distortion_across_families(self):
+    def test_distortion_across_families(self, provider):
         table = Table(
             "EMB: HST expected distortion (hierarchical shifted LDD)",
             ["graph", "levels", "mean_ratio", "median", "contraction_frac"],
@@ -190,17 +237,19 @@ class TestEmbeddings:
         # distances are near the diameter, so the simplified top-down
         # hierarchy contracts more pairs than on lattices (where it is the
         # FRT-style regime).  EXPERIMENTS.md records this deviation.
-        contraction_limits = {
-            "grid 20x20": 0.25,
-            "er n=300": 0.5,
-            "hypercube 8": 0.5,
-        }
-        for name, graph in [
-            ("grid 20x20", grid_2d(20, 20)),
-            ("er n=300", erdos_renyi(300, 0.02, seed=4)),
-            ("hypercube 8", hypercube(8)),
-        ]:
-            h = hierarchical_decomposition(graph, seed=5)
+        if SMOKE:
+            families = [
+                ("grid 10x10", grid_2d(10, 10), 0.4),
+                ("torus 8x8", torus_2d(8, 8), 0.6),
+            ]
+        else:
+            families = [
+                ("grid 20x20", grid_2d(20, 20), 0.25),
+                ("er n=300", erdos_renyi(300, 0.02, seed=4), 0.5),
+                ("hypercube 8", hypercube(8), 0.5),
+            ]
+        for name, graph, contraction_limit in families:
+            h = hierarchical_decomposition(graph, seed=5, provider=provider)
             rep = measure_distortion(
                 graph, build_hst(h), num_sources=6, seed=6
             )
@@ -212,9 +261,45 @@ class TestEmbeddings:
                 rep.contraction_fraction,
             )
             assert rep.mean_ratio >= 1.0
-            assert rep.contraction_fraction < contraction_limits[name]
+            assert rep.contraction_fraction < contraction_limit
         table.show()
 
     def test_hierarchy_timing(self, benchmark):
-        graph = grid_2d(15, 15)
-        benchmark(lambda: hierarchical_decomposition(graph, seed=0))
+        # Memoization disabled — time the recursion, not cache hits.
+        graph = grid_2d(8, 8) if SMOKE else grid_2d(15, 15)
+        with EngineProvider(memo_bytes=0) as prov:
+            benchmark(
+                lambda: hierarchical_decomposition(
+                    graph, seed=0, provider=prov
+                )
+            )
+
+
+class TestPipelineReuse:
+    def test_provider_memo_saw_reuse(self, provider):
+        """The pipeline's economic claim: repeated application builds and
+        cross-level hierarchy pieces reuse memoized decompositions.
+
+        Self-contained — it drives known repeated configurations on the
+        shared provider and measures the hit delta, so it holds under
+        ``-k``/xdist selection just as well as after the full module."""
+        before = provider.stats()
+        graph = torus_2d(8, 8) if SMOKE else torus_2d(16, 16)
+        # Two identical AKPW builds: the second replays every level.
+        akpw_spanning_tree(graph, beta=0.4, seed=21, provider=provider)
+        akpw_spanning_tree(graph, beta=0.4, seed=21, provider=provider)
+        # One hierarchy: pieces stable across levels hit the memo too.
+        hierarchical_decomposition(graph, seed=21, provider=provider)
+        after = provider.stats()
+        requests = after["requests"] - before["requests"]
+        hits = after["memo_hits"] - before["memo_hits"]
+        table = Table(
+            "PIPE: provider reuse across repeated application builds",
+            ["requests", "memo_hits", "hit_rate"],
+        )
+        table.add(
+            requests, hits, f"{hits / requests:.1%}" if requests else "n/a"
+        )
+        table.show()
+        assert requests > 0
+        assert hits > 0, "no decomposition reuse across application builds"

@@ -14,8 +14,15 @@ request set three ways:
 All three paths must produce byte-identical assignment digests (the
 derandomization contract that licenses memoization), and in full mode the
 warm path must sustain >= 10x the requests/sec of the direct baseline on a
->= 100k-edge graph.  ``REPRO_BENCH_SMOKE=1`` (or ``--smoke``) shrinks the
-workload to a seconds-fast path-exercise and skips the speedup floor.
+>= 100k-edge graph.
+
+The second phase times the **application serving path** (`spanner` op):
+cold spanner requests execute the decomposition on the pool plus the
+spanner construction server-side; warm repeats are answered from the same
+result cache.  Full mode asserts warm spanner requests sustain >= 5x the
+requests/sec of cold ones, and that served edge sets are bit-identical to
+the local pipeline.  ``REPRO_BENCH_SMOKE=1`` (or ``--smoke``) shrinks the
+workload to a seconds-fast path-exercise and skips the speedup floors.
 """
 
 from __future__ import annotations
@@ -28,7 +35,9 @@ import numpy as np
 
 from repro.core.engine import decompose_many
 from repro.graphs.generators import erdos_renyi
+from repro.pipeline import EngineProvider
 from repro.serve import ServeClient, serve_background
+from repro.spanners import ldd_spanner
 
 from common import Table, bench_scale
 
@@ -131,7 +140,69 @@ def test_serve_latency():
         )
 
 
+def test_spanner_serve_latency():
+    """Application serving path: cold vs warm `spanner` op round trips."""
+    graph, seeds_per_beta = _workload()
+    configs = [
+        (beta, seed) for beta in SV_BETAS for seed in range(seeds_per_beta)
+    ]
+
+    # Local pipeline reference for bit-identity of the served edge sets.
+    local_edges = {
+        (beta, seed): ldd_spanner(
+            graph, beta, seed=seed, provider=EngineProvider()
+        ).spanner.edge_array()
+        for beta, seed in configs
+    }
+
+    with serve_background(graph, max_workers=2) as server:
+        with ServeClient(*server.address) as client:
+            digest = server.preloaded[0]
+
+            def pass_over(expect_cached: bool) -> list[float]:
+                latencies = []
+                for beta, seed in configs:
+                    start = time.perf_counter()
+                    result = client.spanner(digest, beta, seed=seed)
+                    latencies.append(time.perf_counter() - start)
+                    assert result.cached == expect_cached, (
+                        f"expected cached={expect_cached} for "
+                        f"beta={beta} seed={seed}"
+                    )
+                    assert np.array_equal(
+                        result.edges, local_edges[(beta, seed)]
+                    ), "served spanner drifted from the local pipeline"
+                return latencies
+
+            cold_lat = pass_over(expect_cached=False)
+            warm_lat = pass_over(expect_cached=True)
+            app_stats = client.stats()["server"]
+
+    assert app_stats["app_executions"] == len(configs)
+    assert app_stats["app_requests"] == 2 * len(configs)
+
+    table = Table(
+        f"SV-APP: spanner op latency, n={graph.num_vertices} "
+        f"m={graph.num_edges} requests={len(configs)}/pass",
+        ["mode", "p50_ms", "p99_ms", "req_per_s"],
+    )
+    rates = {}
+    for mode, latencies in (("cold", cold_lat), ("warm", warm_lat)):
+        p50, p99 = _percentiles_ms(latencies)
+        rates[mode] = len(latencies) / sum(latencies)
+        table.add(mode, p50, p99, rates[mode])
+    table.show()
+
+    if not _smoke():
+        speedup = rates["warm"] / rates["cold"]
+        assert speedup >= 5.0, (
+            f"warm spanner requests only {speedup:.1f}x over cold — the "
+            "application serving path is not earning its keep"
+        )
+
+
 if __name__ == "__main__":
     if "--smoke" in sys.argv:
         os.environ["REPRO_BENCH_SMOKE"] = "1"
     test_serve_latency()
+    test_spanner_serve_latency()

@@ -28,7 +28,15 @@ Subcommands
 ``request``
     Drive a running server: upload a generated graph or graph file (or
     reference an earlier upload by ``--digest``), request a decomposition,
-    or hit the ``--stats`` / ``--hello`` / ``--shutdown`` operations.
+    or hit the ``--stats`` / ``--hello`` / ``--shutdown`` operations
+    (``--stats`` prints a formatted counter table; ``--json`` gives the
+    raw document).
+``spanner`` / ``tree`` / ``hst``
+    Application ops served end-to-end: build a cluster spanner, an AKPW
+    low-stretch spanning forest, or a laminar hierarchy *on the server*
+    (op ``spanner`` / ``lowstretch_tree`` / ``hierarchy``), against an
+    uploaded graph, through the server's result cache — warm repeats cost
+    a frame round trip.
 ``methods``
     List registered decomposition methods (with their options), graph
     generators and weight schemes; ``--json`` emits the machine-readable
@@ -286,6 +294,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
+    for name, help_text in (
+        ("spanner", "build a cluster spanner on a running server"),
+        ("tree", "build an AKPW low-stretch forest on a running server"),
+        ("hst", "build a laminar hierarchy on a running server"),
+    ):
+        p_app = sub.add_parser(name, help=help_text)
+        p_app.add_argument(
+            "--connect",
+            required=True,
+            metavar="HOST:PORT",
+            help="server address, e.g. 127.0.0.1:7077",
+        )
+        p_app.add_argument("--timeout", type=float, default=60.0)
+        p_app.add_argument(
+            "--digest",
+            default=None,
+            help="digest of an already-uploaded graph",
+        )
+        p_app.add_argument(
+            "--graph", default=None, help="generator spec to upload and use"
+        )
+        p_app.add_argument(
+            "--graph-file", default=None, help="graph file to upload and use"
+        )
+        p_app.add_argument(
+            "--graph-seed",
+            type=int,
+            default=0,
+            help="seed for --graph generation",
+        )
+        p_app.add_argument(
+            "--seed", type=int, default=0, help="decomposition seed"
+        )
+        p_app.add_argument("--method", default="auto")
+        p_app.add_argument(
+            "--option",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="per-method option, validated against the server's "
+            "registry dump (repeatable)",
+        )
+        p_app.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+        if name == "spanner":
+            p_app.add_argument("--beta", type=float, required=True)
+        elif name == "tree":
+            p_app.add_argument("--beta", type=float, default=0.5)
+            p_app.add_argument("--max-levels", type=int, default=64)
+        else:
+            p_app.add_argument("--beta-max", type=float, default=0.9)
+            p_app.add_argument(
+                "--radius-constant", type=float, default=1.0
+            )
+
     p_met = sub.add_parser(
         "methods", help="list methods, generators, weight schemes"
     )
@@ -316,6 +380,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "request":
             return _cmd_request(args)
+        if args.command in ("spanner", "tree", "hst"):
+            return _cmd_application(args)
         if args.command == "methods":
             return _cmd_methods(args)
     except ReproError as exc:
@@ -659,6 +725,84 @@ def _remote_options(
     return method, options
 
 
+def _upload_target(
+    client, args: argparse.Namespace, *, weights: str | None = None
+) -> tuple[str, str | None]:
+    """Resolve ``--digest``/``--graph``/``--graph-file`` into a digest.
+
+    Returns ``(digest, kind_hint)`` — the hint is ``None`` when the graph
+    was referenced by digest (the client cannot know its kind).
+    """
+    from repro.errors import ParameterError
+
+    if args.digest is not None:
+        return args.digest, None
+    if args.graph_file:
+        upload = client.upload_file(args.graph_file)
+    elif args.graph:
+        from repro.graphs.generators import by_name
+        from repro.graphs.io import to_json
+        from repro.graphs.weighted import weights_by_name
+
+        graph = by_name(args.graph, seed=args.graph_seed)
+        if weights:
+            graph = weights_by_name(graph, weights, seed=args.graph_seed)
+        upload = client.upload_text(to_json(graph), format="json")
+    else:
+        raise ParameterError(
+            f"{args.command} needs --digest, --graph or --graph-file"
+        )
+    return (
+        upload["digest"],
+        "weighted" if upload["weighted"] else "unweighted",
+    )
+
+
+def _print_stats_table(doc: dict) -> None:
+    """Render the stats document as aligned ``section.key`` rows.
+
+    Derived ratios the counters exist for — cache hit-rate, store dedup
+    rate, pool completion — are computed here so operators do not have to.
+    """
+    def rate(num: float, den: float) -> str:
+        return f"{num / den:.1%}" if den else "n/a"
+
+    cache = doc.get("cache") or {}
+    store = doc.get("store") or {}
+    pool = doc.get("pool") or {}
+    derived = {
+        "cache": {
+            "hit_rate": rate(
+                cache.get("hits", 0),
+                cache.get("hits", 0) + cache.get("misses", 0),
+            ),
+            "fill": rate(cache.get("bytes", 0), cache.get("max_bytes", 0)),
+        },
+        "store": {
+            "dedup_rate": rate(
+                store.get("dedup_hits", 0), store.get("uploads", 0)
+            ),
+        },
+        "pool": {
+            "completion_rate": rate(
+                pool.get("completed", 0), pool.get("submitted", 0)
+            ),
+        },
+    }
+    for section in ("server", "cache", "store", "pool", "app_provider"):
+        block = doc.get(section)
+        if not isinstance(block, dict):
+            continue
+        rows = dict(block)
+        rows.update(derived.get(section, {}))
+        print(f"{section}:")
+        width = max(len(k) for k in rows)
+        for key, value in rows.items():
+            if isinstance(value, float):
+                value = f"{value:.3f}"
+            print(f"  {key:<{width}}  {value}")
+
+
 def _cmd_request(args: argparse.Namespace) -> int:
     from repro.errors import ParameterError
     from repro.serve.client import ServeClient
@@ -674,33 +818,16 @@ def _cmd_request(args: argparse.Namespace) -> int:
             doc.pop("ok", None)
             if args.json:
                 print(json.dumps(doc))
+            elif args.stats:
+                _print_stats_table(doc)
             else:
                 for key, value in doc.items():
                     print(f"{key}: {value}")
             return 0
 
-        digest = args.digest
-        kind_hint = None
-        if digest is None:
-            if args.graph_file:
-                upload = client.upload_file(args.graph_file)
-            elif args.graph:
-                from repro.graphs.generators import by_name
-                from repro.graphs.io import to_json
-                from repro.graphs.weighted import weights_by_name
-
-                graph = by_name(args.graph, seed=args.graph_seed)
-                if args.weights:
-                    graph = weights_by_name(
-                        graph, args.weights, seed=args.graph_seed
-                    )
-                upload = client.upload_text(to_json(graph), format="json")
-            else:
-                raise ParameterError(
-                    "request needs --digest, --graph or --graph-file"
-                )
-            digest = upload["digest"]
-            kind_hint = "weighted" if upload["weighted"] else "unweighted"
+        digest, kind_hint = _upload_target(
+            client, args, weights=args.weights
+        )
         if args.beta is None:
             raise ParameterError("a decompose request needs --beta")
         method, options = _remote_options(
@@ -722,6 +849,78 @@ def _cmd_request(args: argparse.Namespace) -> int:
             "result_digest": result.result_digest(),
             **result.summary,
         }
+        if args.json:
+            print(json.dumps(doc))
+        else:
+            for key, value in doc.items():
+                print(f"{key:>16}: {value}")
+    return 0
+
+
+def _cmd_application(args: argparse.Namespace) -> int:
+    """``repro spanner`` / ``repro tree`` / ``repro hst``."""
+    from repro.serve.client import ServeClient
+
+    host, port = _parse_connect(args.connect)
+    with ServeClient(host, port, timeout=args.timeout) as client:
+        digest, _ = _upload_target(client, args)
+        # Application ops are unweighted by construction, so "auto" always
+        # resolves against the unweighted default.
+        method, options = _remote_options(
+            client, args.method, args.option, "unweighted"
+        )
+        if args.command == "spanner":
+            result = client.spanner(
+                digest, args.beta, method=method, seed=args.seed, **options
+            )
+            doc = {
+                "digest": result.digest,
+                "cached": result.cached,
+                "coalesced": result.coalesced,
+                "result_digest": result.result_digest(),
+                "num_edges": result.num_edges,
+                "num_tree_edges": result.num_tree_edges,
+                "num_bridge_edges": result.num_bridge_edges,
+                "stretch_bound": result.stretch_bound,
+                **result.summary,
+            }
+        elif args.command == "tree":
+            result = client.lowstretch_tree(
+                digest,
+                beta=args.beta,
+                method=method,
+                seed=args.seed,
+                max_levels=args.max_levels,
+                **options,
+            )
+            doc = {
+                "digest": result.digest,
+                "cached": result.cached,
+                "coalesced": result.coalesced,
+                "result_digest": result.result_digest(),
+                "num_levels": result.num_levels,
+                "level_sizes": result.level_sizes,
+                "level_betas": result.level_betas,
+            }
+        else:
+            result = client.hierarchy(
+                digest,
+                seed=args.seed,
+                method=method,
+                beta_max=args.beta_max,
+                radius_constant=args.radius_constant,
+                **options,
+            )
+            doc = {
+                "digest": result.digest,
+                "cached": result.cached,
+                "coalesced": result.coalesced,
+                "result_digest": result.result_digest(),
+                "num_levels": result.num_levels,
+                "pieces_per_level": [
+                    int(level.max()) + 1 for level in result.labels
+                ],
+            }
         if args.json:
             print(json.dumps(doc))
         else:

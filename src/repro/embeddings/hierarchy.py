@@ -18,11 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.ldd_bfs import partition_bfs
 from repro.errors import GraphError, ParameterError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 from repro.graphs.ops import connected_components, induced_subgraph
-from repro.rng.seeding import SeedLike, make_generator
+from repro.pipeline import resolve_provider
+from repro.rng.seeding import SeedLike, derive_seed, ensure_int_seed
 
 __all__ = ["Hierarchy", "hierarchical_decomposition"]
 
@@ -87,12 +87,22 @@ def hierarchical_decomposition(
     seed: SeedLike = None,
     beta_max: float = 0.9,
     radius_constant: float = 1.0,
+    method: str = "auto",
+    provider=None,
+    **options: object,
 ) -> Hierarchy:
     """Build a laminar hierarchy by top-down shifted decomposition.
 
     The top level groups whole connected components; each descent to level
     ``ℓ`` re-decomposes every piece with ``β_ℓ = min(β_max, c·ln n / 2^ℓ)``.
     Level 0 is forced to singletons so the HST's leaves are vertices.
+
+    Per-piece decompositions run through the pipeline layer (``provider``,
+    ``method``, ``**options`` — see :mod:`repro.pipeline`).  Each piece's
+    sub-seed is derived from the root seed and the piece's *content digest*
+    — so a piece that survives unchanged from one level to the next (β
+    capped at ``beta_max`` at fine scales) issues the exact request it
+    issued before and the provider's memo answers it without recomputing.
     """
     if not 0 < beta_max < 1:
         raise ParameterError("beta_max must be in (0, 1)")
@@ -101,7 +111,8 @@ def hierarchical_decomposition(
     n = graph.num_vertices
     if n == 0:
         raise GraphError("cannot build a hierarchy on the empty graph")
-    rng = make_generator(seed)
+    provider = resolve_provider(provider)
+    root_seed = ensure_int_seed(seed)
 
     top = connected_components(graph).astype(np.int64)
     # Number of levels: enough that the top scale covers any component
@@ -116,7 +127,9 @@ def hierarchical_decomposition(
         beta = min(
             beta_max, radius_constant * np.log(max(n, 2)) / target_radius
         )
-        refined = _refine(graph, current, beta, rng)
+        refined = _refine(
+            graph, current, beta, root_seed, provider, method, options
+        )
         levels.append(refined)
         scales.append(target_radius)
         current = refined
@@ -133,9 +146,18 @@ def _refine(
     graph: CSRGraph,
     coarse: np.ndarray,
     beta: float,
-    rng: np.random.Generator,
+    root_seed: int,
+    provider,
+    method: str,
+    options: dict,
 ) -> np.ndarray:
-    """Decompose each coarse piece independently; return dense fine labels."""
+    """Decompose each coarse piece independently; return dense fine labels.
+
+    Each piece's seed is ``derive_seed(root, "hierarchy", piece digest)`` —
+    a pure function of the root seed and the piece's content, independent
+    of the level it appears at, which is what makes repeated pieces cache
+    hits in the provider's memo.
+    """
     n = graph.num_vertices
     fine = np.full(n, -1, dtype=np.int64)
     next_label = 0
@@ -146,7 +168,12 @@ def _refine(
             next_label += 1
             continue
         sub = induced_subgraph(graph, members)
-        decomposition, _ = partition_bfs(sub.graph, beta, seed=rng)
+        piece_seed = derive_seed(
+            root_seed, "hierarchy", provider.graph_key(sub.graph)
+        )
+        decomposition = provider.decompose(
+            sub.graph, beta, method=method, seed=piece_seed, **options
+        ).decomposition
         fine[members] = decomposition.labels + next_label
         next_label += decomposition.num_pieces
     if np.any(fine < 0):

@@ -49,7 +49,10 @@ class CSRGraph:
     corrupting shared state between algorithm stages.
     """
 
-    __slots__ = ("_indptr", "_indices", "_num_vertices", "_num_edges")
+    # __weakref__ lets caches key metadata (e.g. the pipeline layer's
+    # content digests) on graph objects without pinning them in memory.
+    __slots__ = ("_indptr", "_indices", "_num_vertices", "_num_edges",
+                 "__weakref__")
 
     def __init__(
         self,

@@ -23,11 +23,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bfs.sequential import multi_source_bfs
-from repro.core.ldd_bfs import partition_bfs
 from repro.errors import GraphError, ParameterError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 from repro.graphs.ops import quotient_graph
-from repro.rng.seeding import SeedLike, make_generator
+from repro.pipeline import resolve_provider
+from repro.rng.seeding import (
+    SeedLike,
+    derive_seed,
+    ensure_int_seed,
+    make_generator,
+)
 from repro.trees.structure import RootedForest, bfs_forest_from_decomposition
 
 __all__ = ["AKPWResult", "akpw_spanning_tree", "bfs_spanning_tree"]
@@ -54,19 +59,30 @@ def akpw_spanning_tree(
     beta: float = 0.5,
     seed: SeedLike = None,
     max_levels: int = 64,
+    method: str = "auto",
+    provider=None,
+    **options: object,
 ) -> AKPWResult:
     """Build a spanning forest of ``graph`` by iterated LDD + contraction.
 
     ``beta`` controls the per-level decomposition (larger β → more, smaller
     pieces per level → more levels → higher stretch but shallower trees).
     Works on disconnected graphs (yields one tree per component).
+
+    Per-level decompositions run through the pipeline layer (``provider``,
+    ``method``, ``**options`` — see :mod:`repro.pipeline`): each level gets
+    a deterministic integer sub-seed derived from the root seed, so the
+    whole recursion is reproducible and bit-identical on every backend,
+    and level results land in the provider's memo for reuse by later
+    builds with the same configuration.
     """
     if not 0 < beta < 1:
         raise ParameterError(f"beta must be in (0, 1), got {beta}")
     n = graph.num_vertices
     if n == 0:
         raise GraphError("cannot build a tree on the empty graph")
-    rng = make_generator(seed)
+    provider = resolve_provider(provider)
+    root_seed = ensure_int_seed(seed)
 
     # Current contracted graph; cur_orig_edges[i] is the original-graph edge
     # realising the i-th current edge (aligned with edge_array() rows).
@@ -77,12 +93,18 @@ def akpw_spanning_tree(
     level_betas: list[float] = []
     level_beta = beta
 
-    for _ in range(max_levels):
+    for level in range(max_levels):
         if cur.num_edges == 0:
             break
         level_sizes.append((cur.num_vertices, cur.num_edges))
         level_betas.append(level_beta)
-        decomposition, _ = partition_bfs(cur, level_beta, seed=rng)
+        decomposition = provider.decompose(
+            cur,
+            level_beta,
+            method=method,
+            seed=derive_seed(root_seed, "akpw", level),
+            **options,
+        ).decomposition
         piece_forest = bfs_forest_from_decomposition(decomposition)
         child = np.flatnonzero(piece_forest.parent != -1)
         if child.size:

@@ -26,11 +26,11 @@ import numpy as np
 
 from repro.bfs.sequential import multi_source_bfs
 from repro.core.decomposition import Decomposition
-from repro.core.ldd_bfs import partition_bfs
 from repro.errors import ParameterError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.ops import quotient_graph
-from repro.rng.seeding import SeedLike, make_generator
+from repro.pipeline import resolve_provider
+from repro.rng.seeding import SeedLike, ensure_int_seed, make_generator
 
 __all__ = ["ClusterDistanceOracle", "OracleErrorReport", "build_oracle"]
 
@@ -146,7 +146,18 @@ def build_oracle(
     beta: float,
     *,
     seed: SeedLike = None,
+    method: str = "auto",
+    provider=None,
+    **options: object,
 ) -> ClusterDistanceOracle:
-    """Decompose and build the oracle in one call."""
-    decomposition, _ = partition_bfs(graph, beta, seed=seed)
-    return ClusterDistanceOracle(decomposition)
+    """Decompose and build the oracle in one call.
+
+    The decomposition runs through the pipeline layer (``provider``,
+    ``method``, ``**options`` — see :mod:`repro.pipeline`); the oracle is
+    identical no matter which backend executed it.
+    """
+    provider = resolve_provider(provider)
+    result = provider.decompose(
+        graph, beta, method=method, seed=ensure_int_seed(seed), **options
+    )
+    return ClusterDistanceOracle(result.decomposition)

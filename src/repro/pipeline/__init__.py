@@ -1,0 +1,37 @@
+"""Pipeline layer: applications × interchangeable decomposition backends.
+
+The paper's decomposition is the substrate for its applications — spanners,
+low-stretch trees, hierarchies, oracles.  This package routes every
+application through one :class:`DecompositionProvider` seam so the same
+application code runs against the serial engine, the shared-memory batch
+runtime, or a remote decomposition server, with bit-identical outputs
+(pinned by ``tests/test_pipeline.py``) and a per-provider memo layer that
+reuses decompositions across recursion levels and repeated builds::
+
+    from repro.graphs import grid_2d
+    from repro.pipeline import PoolProvider
+    from repro.spanners import ldd_spanner
+
+    with PoolProvider(max_workers=4) as provider:
+        res = ldd_spanner(grid_2d(100, 100), 0.1, seed=0, provider=provider)
+
+See DESIGN.md §8 for the architecture.
+"""
+
+from repro.pipeline.providers import (
+    DecompositionProvider,
+    EngineProvider,
+    PoolProvider,
+    ServeProvider,
+    default_provider,
+    resolve_provider,
+)
+
+__all__ = [
+    "DecompositionProvider",
+    "EngineProvider",
+    "PoolProvider",
+    "ServeProvider",
+    "default_provider",
+    "resolve_provider",
+]

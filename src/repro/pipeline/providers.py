@@ -1,0 +1,630 @@
+"""Decomposition providers — one seam between applications and backends.
+
+Every application in this library (spanners, AKPW low-stretch trees, HST
+hierarchies, distance oracles, the solver's tree preconditioners) consumes
+the paper's primitive the same way: *decompose this graph with this β,
+method and seed*.  A :class:`DecompositionProvider` is that contract made
+explicit, with three interchangeable transports:
+
+- :class:`EngineProvider` — in-process serial
+  :func:`repro.core.engine.decompose`;
+- :class:`PoolProvider` — the shared-memory batch runtime
+  (:class:`repro.runtime.pool.DecompositionPool`): graphs are registered in
+  shared memory under their content digest, requests cross the process
+  boundary slim;
+- :class:`ServeProvider` — a :class:`repro.serve.client.ServeClient`
+  speaking to a running decomposition server: graphs are uploaded once by
+  digest, results come back over the wire.
+
+Because decompositions are derandomized (pure functions of
+``(graph bytes, beta, method, seed, options)`` — the conformance suite pins
+this), *which* provider executes a request never changes its result:
+application outputs are bit-identical across all three.  That same purity
+licenses the built-in **memo layer**: every provider carries a byte-budgeted
+:class:`~repro.serve.cache.ResultCache` keyed by the canonical request
+tuple, so multi-level consumers (AKPW's quotient recursion, hierarchy
+refinement) and repeated application builds reuse decompositions instead of
+recomputing them.
+
+Providers require **integer seeds** — the explicit seed is what makes a
+request executable on any backend and memoizable; applications normalise
+their ``SeedLike`` inputs with :func:`repro.rng.seeding.ensure_int_seed`
+and derive per-level sub-seeds with :func:`~repro.rng.seeding.derive_seed`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from collections import OrderedDict
+
+from repro.core.engine import PartitionResult, _resolve, decompose
+from repro.errors import ParameterError
+from repro.graphs.csr import CSRGraph
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import canonical_cache_key
+from repro.serve.store import graph_digest
+
+__all__ = [
+    "DecompositionProvider",
+    "EngineProvider",
+    "PoolProvider",
+    "ServeProvider",
+    "default_provider",
+    "resolve_provider",
+]
+
+#: Default memo budget per provider: enough for a few thousand result
+#: arrays of mid-sized graphs without surprising a laptop.
+DEFAULT_MEMO_BYTES = 64 * 1024 * 1024
+
+#: Graphs with at most this many edges run on the in-process engine even
+#: under remote backends — a pool/serve round trip costs more than a tiny
+#: decomposition.  Results are identical either way (derandomization), so
+#: this is purely a transport choice.  0 = never inline, keeping backend
+#: semantics pure by default; the serve layer's app provider raises it.
+DEFAULT_INLINE_CUTOFF = 0
+
+
+class DecompositionProvider:
+    """Routes decomposition requests to a backend, memoizing results.
+
+    Subclasses implement :meth:`_decompose_impl`; everything else —
+    request validation, digest computation, the memo layer, slim-result
+    rehydration — is shared.  Providers are context managers; closing one
+    releases whatever backend resources it owns.
+
+    Parameters
+    ----------
+    memo_bytes:
+        Byte budget of the provider's memo cache (0 disables memoization).
+    memo:
+        An externally owned :class:`~repro.serve.cache.ResultCache` to use
+        instead of creating one — the serve layer passes its own cache so
+        application decompositions and client requests share one budget and
+        one set of counters.  Overrides ``memo_bytes``.
+    inline_cutoff:
+        Graphs with ``num_edges`` at or below this run on the in-process
+        engine instead of the backend (0 = always use the backend).
+    """
+
+    #: short backend label used in stats and reprs.
+    backend = "abstract"
+
+    def __init__(
+        self,
+        *,
+        memo_bytes: int = DEFAULT_MEMO_BYTES,
+        memo: ResultCache | None = None,
+        inline_cutoff: int = DEFAULT_INLINE_CUTOFF,
+    ) -> None:
+        self._memo = memo if memo is not None else ResultCache(int(memo_bytes))
+        self._inline_cutoff = int(inline_cutoff)
+        self._digest_lock = threading.Lock()
+        # id(graph) -> (weakref(graph), digest): graphs are immutable, so
+        # a digest is computed once per live object.  Weak references keep
+        # the cache from pinning graphs the caller has dropped (important
+        # for the process-wide default provider); a dead or recycled id is
+        # detected by the identity check on lookup.  Bounded below.
+        self._digest_cache: OrderedDict[
+            int, tuple[weakref.ref, str]
+        ] = OrderedDict()
+        self._requests = 0
+        self._memo_hits = 0
+        self._inline_runs = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # the contract
+    # ------------------------------------------------------------------
+    def decompose(
+        self,
+        graph: CSRGraph,
+        beta: float,
+        *,
+        method: str = "auto",
+        seed: int = 0,
+        validate: bool = False,
+        **options: object,
+    ) -> PartitionResult:
+        """Compute (or recall) one decomposition through the backend.
+
+        ``seed`` must be a plain integer — the explicit seed is the
+        reproducibility and cache identity of the request (normalise
+        ``SeedLike`` values with
+        :func:`repro.rng.seeding.ensure_int_seed` first).
+        """
+        if self._closed:
+            raise ParameterError(f"{type(self).__name__} is closed")
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ParameterError(
+                f"providers require an explicit integer seed, got "
+                f"{type(seed).__name__} (normalise with ensure_int_seed)"
+            )
+        spec = _resolve(graph, method)
+        bound = spec.bind(options)
+        digest = self.graph_key(graph)
+        key = canonical_cache_key(
+            digest, float(beta), spec.name, seed, bound,
+            validate=validate, op="pipeline",
+        )
+        self._requests += 1
+        slim = self._memo.get(key)
+        if slim is not None:
+            self._memo_hits += 1
+            return _rehydrate(graph, slim)
+        if graph.num_edges <= self._inline_cutoff and not isinstance(
+            self, EngineProvider
+        ):
+            self._inline_runs += 1
+            result = decompose(
+                graph, beta, method=spec.name, seed=seed,
+                validate=validate, **options,
+            )
+        else:
+            result = self._decompose_impl(
+                graph, digest, beta, spec.name, seed, validate, dict(options)
+            )
+        slim = _slim(result)
+        self._memo.put(key, slim, _slim_nbytes(slim))
+        return result
+
+    def _decompose_impl(
+        self,
+        graph: CSRGraph,
+        digest: str,
+        beta: float,
+        method: str,
+        seed: int,
+        validate: bool,
+        options: dict,
+    ) -> PartitionResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # identity and introspection
+    # ------------------------------------------------------------------
+    def graph_key(self, graph: CSRGraph) -> str:
+        """The content digest keying ``graph`` across every backend.
+
+        Cached per graph object (graphs are immutable); the digest is the
+        same :func:`repro.serve.store.graph_digest` the serve layer's
+        content-addressed store uses, so a provider-side key and a
+        server-side upload agree byte for byte.
+        """
+        with self._digest_lock:
+            hit = self._digest_cache.get(id(graph))
+            if hit is not None and hit[0]() is graph:
+                self._digest_cache.move_to_end(id(graph))
+                return hit[1]
+        digest = graph_digest(graph)
+        with self._digest_lock:
+            self._digest_cache[id(graph)] = (weakref.ref(graph), digest)
+            # Drop dead entries first, then bound the live ones.
+            for key in [
+                k for k, (ref, _) in self._digest_cache.items()
+                if ref() is None
+            ]:
+                del self._digest_cache[key]
+            while len(self._digest_cache) > 256:
+                self._digest_cache.popitem(last=False)
+        return digest
+
+    def stats(self) -> dict:
+        """Request/memo counters plus the backend's own numbers."""
+        return {
+            "backend": self.backend,
+            "requests": self._requests,
+            "memo_hits": self._memo_hits,
+            "inline_runs": self._inline_runs,
+            "memo": self._memo.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{self._requests} request(s)"
+        return f"{type(self).__name__}({state})"
+
+
+class EngineProvider(DecompositionProvider):
+    """Serial in-process backend: every request is a direct engine call."""
+
+    backend = "engine"
+
+    def _decompose_impl(
+        self, graph, digest, beta, method, seed, validate, options
+    ) -> PartitionResult:
+        return decompose(
+            graph, beta, method=method, seed=seed, validate=validate,
+            **options,
+        )
+
+
+class PoolProvider(DecompositionProvider):
+    """Shared-memory batch-runtime backend.
+
+    Wraps a :class:`~repro.runtime.pool.DecompositionPool` — either an
+    externally owned one (the serve layer passes the server's pool) or one
+    the provider creates and owns.  Graphs the provider registers itself
+    live under a *provider-private key namespace* (``pipelineN:<digest>``),
+    so they can never collide with — or be evicted out from under — keys
+    owned by others sharing the pool (the serve layer's graph store
+    registers raw digests); a graph already resident under its raw digest
+    is used in place.  The provider keeps at most ``max_resident_graphs``
+    of its own registrations alive (LRU, in-flight-aware), so a deep
+    quotient recursion cannot exhaust shared memory.
+    """
+
+    backend = "pool"
+
+    #: distinguishes the key namespaces of providers sharing one pool.
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        pool=None,
+        *,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        max_resident_graphs: int = 32,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if max_resident_graphs < 1:
+            raise ParameterError(
+                f"max_resident_graphs must be >= 1, got {max_resident_graphs}"
+            )
+        if pool is None:
+            from repro.runtime.pool import DecompositionPool
+
+            pool = DecompositionPool(
+                max_workers=max_workers, start_method=start_method
+            )
+            self._owns_pool = True
+        else:
+            self._owns_pool = False
+        self._pool = pool
+        self._max_resident = int(max_resident_graphs)
+        self._namespace = f"pipeline{next(self._ids)}"
+        self._resident_lock = threading.Lock()
+        #: pool keys THIS provider registered, in LRU order.
+        self._resident: OrderedDict[str, None] = OrderedDict()
+        #: pool key -> number of requests currently executing against it;
+        #: eviction skips these (unlinking a segment under an in-flight
+        #: request could fault a worker that has not attached yet).
+        self._inflight: dict[str, int] = {}
+
+    @property
+    def pool(self):
+        """The underlying :class:`DecompositionPool`."""
+        return self._pool
+
+    def _decompose_impl(
+        self, graph, digest, beta, method, seed, validate, options
+    ) -> PartitionResult:
+        own_key = f"{self._namespace}:{digest}"
+        pool_key = own_key
+        try:
+            with self._resident_lock:
+                # Mark the request in flight *before* any eviction can run
+                # — including the one below, which must not evict the key
+                # it just registered.  The pin is what makes submitting
+                # outside the lock safe: eviction skips pinned keys.
+                self._inflight[own_key] = self._inflight.get(own_key, 0) + 1
+                if own_key in self._resident:
+                    self._resident.move_to_end(own_key)
+                elif digest in self._pool.graph_keys:
+                    # Already resident under its raw digest (registered by
+                    # another owner, e.g. the serve layer's store): use it
+                    # in place, never evict it.
+                    pool_key = digest
+                else:
+                    self._pool.register_graph(own_key, graph)
+                    self._resident[own_key] = None
+                    for candidate in list(self._resident):
+                        if len(self._resident) <= self._max_resident:
+                            break
+                        if self._inflight.get(candidate):
+                            continue  # a request is executing against it
+                        del self._resident[candidate]
+                        self._pool.unregister_graph(candidate)
+            result = self._pool.submit(
+                pool_key, beta, method=method, seed=seed, validate=validate,
+                **options,
+            ).result()
+        finally:
+            with self._resident_lock:
+                remaining = self._inflight.get(own_key, 1) - 1
+                if remaining:
+                    self._inflight[own_key] = remaining
+                else:
+                    self._inflight.pop(own_key, None)
+        # Rebind to the caller's graph object: the pool rehydrates against
+        # its own registered parent graph (an equal-content object),
+        # while the provider contract hands back the caller's.
+        return _rehydrate(graph, _slim(result))
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["pool"] = self._pool.stats()
+        with self._resident_lock:
+            out["resident_graphs"] = len(self._resident)
+        return out
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        super().close()
+        with self._resident_lock:
+            resident, self._resident = list(self._resident), OrderedDict()
+        if self._owns_pool:
+            self._pool.shutdown()
+        else:
+            for digest in resident:
+                try:
+                    self._pool.unregister_graph(digest)
+                except ParameterError:
+                    pass  # pool already shut down or key re-owned
+
+
+class ServeProvider(DecompositionProvider):
+    """Remote backend: a :class:`ServeClient` against a running server.
+
+    Graphs are uploaded once (content-addressed: identical re-uploads
+    dedup server-side) and referenced by digest thereafter.  The provider
+    either wraps an externally owned client or connects itself from
+    ``address``.  Remote results come back as assignment arrays and a
+    summary; the provider rebuilds a full :class:`PartitionResult` against
+    the local graph object, so applications cannot tell the backends
+    apart.  Note ``validate=True`` runs server-side; the returned result
+    carries ``report=None`` locally (the summary's ``invariants_ok`` field
+    is the witness).
+
+    Uploads the provider *originated* (the server did not already hold the
+    content) are bounded: at most ``max_uploaded_graphs`` stay resident
+    server-side, evicted LRU via the ``discard`` op — so a deep quotient
+    recursion cannot exhaust the server's shared memory.  Graphs the
+    server already knew (preloads, other clients' uploads) are never
+    discarded here.
+    """
+
+    backend = "serve"
+
+    def __init__(
+        self,
+        client=None,
+        *,
+        address: tuple[str, int] | None = None,
+        timeout: float = 60.0,
+        max_uploaded_graphs: int = 32,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if max_uploaded_graphs < 1:
+            raise ParameterError(
+                f"max_uploaded_graphs must be >= 1, got {max_uploaded_graphs}"
+            )
+        if client is None:
+            if address is None:
+                raise ParameterError(
+                    "ServeProvider needs a ServeClient or an (host, port) "
+                    "address"
+                )
+            from repro.serve.client import ServeClient
+
+            client = ServeClient(*address, timeout=timeout)
+            self._owns_client = True
+        else:
+            self._owns_client = False
+        self._client = client
+        self._max_uploaded = int(max_uploaded_graphs)
+        self._uploaded_lock = threading.Lock()
+        #: digests known resident server-side that this provider does NOT
+        #: own (server had the content already) — never discarded here.
+        self._shared_digests: set[str] = set()
+        #: digests this provider's uploads created, LRU order, evictable.
+        self._own_uploads: OrderedDict[str, None] = OrderedDict()
+        #: digest -> in-flight request count (eviction skips these).
+        self._upload_inflight: dict[str, int] = {}
+
+    @property
+    def client(self):
+        """The underlying :class:`ServeClient`."""
+        return self._client
+
+    def _ensure_uploaded(self, graph: CSRGraph, digest: str) -> None:
+        """Upload ``graph`` if needed and pin it for the current request.
+
+        Must be paired with :meth:`_release_upload`.
+        """
+        with self._uploaded_lock:
+            self._upload_inflight[digest] = (
+                self._upload_inflight.get(digest, 0) + 1
+            )
+            if digest in self._shared_digests or digest in self._own_uploads:
+                if digest in self._own_uploads:
+                    self._own_uploads.move_to_end(digest)
+                return
+        from repro.graphs.io import to_json
+
+        try:
+            response = self._client.upload_text(to_json(graph), format="json")
+        except BaseException:
+            self._release_upload(digest)
+            raise
+        remote = response["digest"]
+        if remote != digest:
+            self._release_upload(digest)
+            raise ParameterError(
+                f"server digest {remote[:12]}… does not match local digest "
+                f"{digest[:12]}… — client/server serialisation drift"
+            )
+        to_discard: list[str] = []
+        with self._uploaded_lock:
+            if response.get("known"):
+                # The server held this content before we uploaded — some
+                # other owner's graph; not ours to discard.
+                self._shared_digests.add(digest)
+            else:
+                self._own_uploads[digest] = None
+                self._own_uploads.move_to_end(digest)
+                for candidate in list(self._own_uploads):
+                    if len(self._own_uploads) <= self._max_uploaded:
+                        break
+                    if self._upload_inflight.get(candidate):
+                        continue
+                    del self._own_uploads[candidate]
+                    to_discard.append(candidate)
+        from repro.errors import ServeError
+
+        for stale in to_discard:
+            try:
+                self._client.discard(stale)
+            except ServeError:
+                pass  # someone else discarded it already; budget restored
+
+    def _release_upload(self, digest: str) -> None:
+        with self._uploaded_lock:
+            remaining = self._upload_inflight.get(digest, 1) - 1
+            if remaining:
+                self._upload_inflight[digest] = remaining
+            else:
+                self._upload_inflight.pop(digest, None)
+
+    def _decompose_impl(
+        self, graph, digest, beta, method, seed, validate, options
+    ) -> PartitionResult:
+        import numpy as np
+
+        from repro.core.decomposition import Decomposition, PartitionTrace
+        from repro.core.weighted import WeightedDecomposition
+        from repro.errors import ServeError
+
+        served = None
+        for attempt in (0, 1):
+            self._ensure_uploaded(graph, digest)
+            try:
+                served = self._client.decompose(
+                    digest, beta, method=method, seed=seed,
+                    validate=validate, **options,
+                )
+                break
+            except ServeError as exc:
+                # Self-heal when the digest was discarded out from under
+                # us (another provider's eviction, a server restart):
+                # forget it and re-upload once.
+                if attempt or "unknown graph digest" not in str(exc):
+                    raise
+                with self._uploaded_lock:
+                    self._own_uploads.pop(digest, None)
+                    self._shared_digests.discard(digest)
+            finally:
+                self._release_upload(digest)
+        if served.kind == "weighted":
+            decomposition = WeightedDecomposition(
+                graph=graph,
+                center=np.ascontiguousarray(served.center),
+                radius=np.ascontiguousarray(served.per_vertex),
+            )
+        else:
+            decomposition = Decomposition(
+                graph=graph,
+                center=np.ascontiguousarray(served.center),
+                hops=np.ascontiguousarray(served.per_vertex),
+            )
+        summary = served.summary
+        delta_max = summary.get("delta_max")
+        trace = PartitionTrace(
+            method=str(summary.get("method", method)),
+            beta=float(beta),
+            rounds=int(float(summary.get("rounds", 0))),
+            work=int(float(summary.get("work", 0))),
+            depth=int(float(summary.get("depth", 0))),
+            delta_max=(
+                float("nan") if delta_max is None else float(delta_max)
+            ),
+            wall_time_s=float(summary.get("wall_time_s", 0.0)),
+        )
+        return PartitionResult(
+            decomposition=decomposition, trace=trace, report=None
+        )
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        super().close()
+        if self._owns_client:
+            self._client.close()
+
+
+# ---------------------------------------------------------------------------
+# defaults and resolution
+# ---------------------------------------------------------------------------
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT: EngineProvider | None = None
+
+
+def default_provider() -> EngineProvider:
+    """The process-wide default :class:`EngineProvider`.
+
+    Applications called without an explicit ``provider=`` share this one,
+    so their decompositions memoize across calls (two solver builds on the
+    same graph reuse every AKPW level, for instance).
+    """
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None or _DEFAULT.closed:
+            _DEFAULT = EngineProvider()
+        return _DEFAULT
+
+
+def resolve_provider(
+    provider: "DecompositionProvider | None",
+) -> DecompositionProvider:
+    """``provider`` itself, or the shared default when ``None``."""
+    if provider is None:
+        return default_provider()
+    if not isinstance(provider, DecompositionProvider):
+        raise ParameterError(
+            f"provider must be a DecompositionProvider, got "
+            f"{type(provider).__name__}"
+        )
+    return provider
+
+
+# ---------------------------------------------------------------------------
+# slim transport (memo storage format)
+# ---------------------------------------------------------------------------
+def _slim(result: PartitionResult) -> tuple:
+    """Graph-free memo payload; mirrors the pool's slim-result format."""
+    from repro.runtime.pool import _slim_result
+
+    return _slim_result(result)
+
+
+def _rehydrate(graph: CSRGraph, slim: tuple) -> PartitionResult:
+    from repro.runtime.pool import _rehydrate_result
+
+    return _rehydrate_result(graph, slim)
+
+
+def _slim_nbytes(slim: tuple) -> int:
+    (kind, center, per_vertex), _trace, _report = slim
+    return int(center.nbytes + per_vertex.nbytes)

@@ -6,13 +6,28 @@ Every randomised routine in the library accepts either an integer seed, a
 multiprocessing backend samples shifts worker-locally — are derived with
 :func:`spawn_generators`, which uses ``SeedSequence.spawn`` so streams are
 statistically independent regardless of worker count.
+
+The pipeline layer (:mod:`repro.pipeline`) keys every decomposition on an
+*explicit integer seed* — that is what makes a request executable on any
+backend (serial, pool, serve) and memoizable.  Multi-level consumers
+normalise their root seed with :func:`ensure_int_seed` and derive one
+integer sub-seed per internal decomposition with :func:`derive_seed`, so
+the whole recursion is a pure function of the root integer.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
-__all__ = ["make_generator", "spawn_generators", "SeedLike"]
+__all__ = [
+    "make_generator",
+    "spawn_generators",
+    "ensure_int_seed",
+    "derive_seed",
+    "SeedLike",
+]
 
 #: Accepted seed types throughout the public API.
 SeedLike = int | np.random.Generator | np.random.SeedSequence | None
@@ -45,3 +60,42 @@ def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
     else:
         root = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def ensure_int_seed(seed: SeedLike = None) -> int:
+    """Normalise any accepted seed into one concrete integer seed.
+
+    Integers pass through unchanged (so caller-supplied seeds key caches
+    verbatim); a generator contributes one draw from its stream; ``None``
+    draws a fresh random seed.  The result is always a plain non-negative
+    ``int`` suitable for :func:`derive_seed` and for shipping to remote
+    decomposition backends.  Negative integers are rejected here — they
+    would only fail later, deep inside a backend, as SeedSequence's
+    entropy error.
+    """
+    if isinstance(seed, (bool, np.bool_)):
+        raise TypeError("bool is not a valid seed")
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {int(seed)}")
+        return int(seed)
+    return int(make_generator(seed).integers(2**63))
+
+
+def derive_seed(root: int, *tokens: object) -> int:
+    """Deterministic 63-bit child seed from an integer root plus tokens.
+
+    Hash-based (SHA-256 over the decimal root and the ``str`` of each
+    token), so the derivation is stable across processes, platforms, and
+    library versions — unlike drawing from a shared generator stream, whose
+    value depends on every draw made before it.  Multi-level consumers use
+    it to give each internal decomposition its own reproducible integer
+    seed: ``derive_seed(root, "akpw", level)``.  Including a content token
+    (a graph digest, say) makes equal subproblems map to equal seeds, which
+    is what lets provider memo layers reuse decompositions across levels.
+    """
+    sha = hashlib.sha256(str(int(root)).encode("ascii"))
+    for token in tokens:
+        sha.update(b"\x1f")
+        sha.update(str(token).encode("utf-8"))
+    return int.from_bytes(sha.digest()[:8], "little") & (2**63 - 1)

@@ -80,6 +80,19 @@ def _attach_worker(descriptors: dict[str, SharedGraphDescriptor]) -> None:
         _WORKER_GRAPHS[key] = attach_shared(descriptor)
 
 
+def _warm_up(hold_seconds: float = 0.0) -> None:
+    """Near-no-op task whose submission forces worker startup.
+
+    ``hold_seconds`` briefly occupies the worker so that, on interpreters
+    that spawn workers one-per-submit (Python 3.10), each warm-up submit
+    sees no idle worker and therefore forks a fresh one (see __init__).
+    """
+    if hold_seconds:
+        import time
+
+        time.sleep(hold_seconds)
+
+
 def _worker_graph(graph_key: str, descriptor: SharedGraphDescriptor):
     """The worker's attached graph for ``graph_key``, attaching on demand.
 
@@ -179,6 +192,10 @@ class DecompositionPool:
         self._shared: dict[str, SharedCSR] = {}
         self._pool: ProcessPoolExecutor | None = None
         self._stats_lock = threading.Lock()
+        # Serialises live register/unregister cycles: the serve layer
+        # mutates from its event loop while pipeline providers mutate from
+        # executor threads.
+        self._registry_lock = threading.Lock()
         self._submitted = 0
         self._completed = 0
         self._failed = 0
@@ -209,6 +226,36 @@ class DecompositionPool:
                 initializer=_attach_worker,
                 initargs=(descriptors,),
             )
+            # Force worker startup *now*, from the constructing thread.
+            # Under the fork start method workers are otherwise forked at
+            # submit time — and forking from an arbitrary submitting
+            # thread while other threads hold locks is the classic
+            # multiprocessing deadlock (observed as a rare hang when
+            # pipeline providers submit concurrently from thread pools).
+            # Python 3.11+ launches ALL fork workers on the first submit;
+            # 3.10 spawns one per submit unless none is idle, so there the
+            # warm-ups briefly hold their workers to force a full fleet.
+            import multiprocessing
+            import sys
+
+            start = (
+                mp_context.get_start_method()
+                if mp_context is not None
+                else multiprocessing.get_start_method()
+            )
+            if (
+                start == "fork"
+                and sys.version_info < (3, 11)
+                and self._max_workers > 1
+            ):
+                warmups = [
+                    self._pool.submit(_warm_up, 0.05)
+                    for _ in range(self._max_workers)
+                ]
+                for future in warmups:
+                    future.result()
+            else:
+                self._pool.submit(_warm_up).result()
         except BaseException:
             self.shutdown()
             raise
@@ -267,31 +314,34 @@ class DecompositionPool:
             raise ParameterError(
                 f"graph keys must be strings, got {type(graph_key).__name__}"
             )
-        if graph_key in self._graphs:
-            raise ParameterError(
-                f"graph key {graph_key!r} is already registered; "
-                "unregister it first to replace the graph"
-            )
         if not isinstance(graph, CSRGraph):
             raise ParameterError(
                 f"graph {graph_key!r} is not a CSRGraph: "
                 f"{type(graph).__name__}"
             )
-        self._shared[graph_key] = share_graph(graph)
-        self._graphs[graph_key] = graph
+        with self._registry_lock:
+            if graph_key in self._graphs:
+                raise ParameterError(
+                    f"graph key {graph_key!r} is already registered; "
+                    "unregister it first to replace the graph"
+                )
+            self._shared[graph_key] = share_graph(graph)
+            self._graphs[graph_key] = graph
 
     def unregister_graph(self, graph_key: str) -> None:
         """Stop serving ``graph_key`` and unlink its shared segment.
 
         The caller is responsible for not racing in-flight requests against
         the same key (the serving layer serialises registry mutations on its
-        event loop); workers that already mapped the segment keep their
-        mapping until they next see the key re-registered or the pool shuts
-        down — the OS frees the memory once the last mapping closes.
+        event loop; pipeline providers only evict keys they registered,
+        under their own lock); workers that already mapped the segment keep
+        their mapping until they next see the key re-registered or the pool
+        shuts down — the OS frees the memory once the last mapping closes.
         """
-        self._check_key(graph_key)
-        del self._graphs[graph_key]
-        self._shared.pop(graph_key).close()
+        with self._registry_lock:
+            self._check_key(graph_key)
+            del self._graphs[graph_key]
+            self._shared.pop(graph_key).close()
 
     # ------------------------------------------------------------------
     # serving

@@ -25,7 +25,13 @@ numbers the layer exists to hit.
 """
 
 from repro.serve.cache import ResultCache
-from repro.serve.client import ServeClient, ServeResult
+from repro.serve.client import (
+    ServeClient,
+    ServeHierarchyResult,
+    ServeResult,
+    ServeSpannerResult,
+    ServeTreeResult,
+)
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -41,6 +47,9 @@ __all__ = [
     "serve_background",
     "ServeClient",
     "ServeResult",
+    "ServeSpannerResult",
+    "ServeTreeResult",
+    "ServeHierarchyResult",
     "GraphStore",
     "graph_digest",
     "ResultCache",

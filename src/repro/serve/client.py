@@ -6,7 +6,10 @@ sequence mirrors the server's content-addressed design: upload a graph
 once (:meth:`upload` / :meth:`upload_file`), keep the digest, then issue
 as many :meth:`decompose` calls as the workload needs — the server
 answers repeats from its memoizing cache and coalesces concurrent
-duplicates.
+duplicates.  The application ops run whole workloads server-side with the
+same economics: :meth:`spanner`, :meth:`lowstretch_tree` and
+:meth:`hierarchy` return finished application outputs (edge sets, parent
+arrays, label stacks) and hit the same cache when repeated.
 
 The client is deliberately synchronous: downstream numerical code (solver
 loops, benchmark harnesses) is synchronous, and one connection per thread
@@ -33,7 +36,21 @@ from repro.serve.protocol import (
     read_frame_blocking,
 )
 
-__all__ = ["ServeClient", "ServeResult"]
+__all__ = [
+    "ServeClient",
+    "ServeResult",
+    "ServeSpannerResult",
+    "ServeTreeResult",
+    "ServeHierarchyResult",
+]
+
+
+def _arrays_digest(*arrays: np.ndarray) -> str:
+    """SHA-256 over arrays — the cross-provider bit-identity witness."""
+    sha = hashlib.sha256()
+    for arr in arrays:
+        sha.update(np.ascontiguousarray(arr).tobytes())
+    return sha.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -74,10 +91,63 @@ class ServeResult:
 
     def result_digest(self) -> str:
         """SHA-256 over the assignment arrays — the bit-identity witness."""
-        sha = hashlib.sha256()
-        sha.update(np.ascontiguousarray(self.center).tobytes())
-        sha.update(np.ascontiguousarray(self.per_vertex).tobytes())
-        return sha.hexdigest()
+        return _arrays_digest(self.center, self.per_vertex)
+
+
+@dataclass(frozen=True)
+class ServeSpannerResult:
+    """A spanner built server-side: edge set plus construction counters."""
+
+    digest: str
+    cached: bool
+    coalesced: bool
+    #: canonical ``(E, 2)`` edge array of the spanner subgraph.
+    edges: np.ndarray
+    stretch_bound: int
+    num_tree_edges: int
+    num_bridge_edges: int
+    num_edges: int
+    summary: dict
+
+    def result_digest(self) -> str:
+        """SHA-256 over the canonical edge array."""
+        return _arrays_digest(self.edges)
+
+
+@dataclass(frozen=True)
+class ServeTreeResult:
+    """An AKPW low-stretch spanning forest built server-side."""
+
+    digest: str
+    cached: bool
+    coalesced: bool
+    #: parent array of the rooted forest (−1 at roots).
+    parent: np.ndarray
+    #: (supernodes, edges) of the contracted graph entering each level.
+    level_sizes: list[tuple[int, int]]
+    level_betas: list[float]
+    num_levels: int
+
+    def result_digest(self) -> str:
+        """SHA-256 over the parent array."""
+        return _arrays_digest(self.parent)
+
+
+@dataclass(frozen=True)
+class ServeHierarchyResult:
+    """A laminar hierarchy built server-side (finest level first)."""
+
+    digest: str
+    cached: bool
+    coalesced: bool
+    #: per-level dense piece labels, level 0 (singletons) first.
+    labels: list[np.ndarray]
+    scale: list[float]
+    num_levels: int
+
+    def result_digest(self) -> str:
+        """SHA-256 over every level's label array."""
+        return _arrays_digest(*self.labels)
 
 
 class ServeClient:
@@ -160,6 +230,15 @@ class ServeClient:
             {"op": "upload", "format": format, "payload": payload}
         )
 
+    def discard(self, digest: str) -> dict:
+        """Drop an uploaded graph server-side (frees its shared memory).
+
+        Cooperative: do not race your own in-flight requests against the
+        digest.  Cached results keyed on the digest remain valid — the
+        same bytes re-upload to the same digest.
+        """
+        return self._call({"op": "discard", "digest": digest})
+
     def upload_file(self, path: str | Path, format: str = "auto") -> dict:
         """Upload a graph file's contents.
 
@@ -211,6 +290,119 @@ class ServeClient:
             summary=dict(response["summary"]),
             center=decode_array(response["center"]),
             per_vertex=decode_array(response["per_vertex"]),
+        )
+
+    def spanner(
+        self,
+        digest: str,
+        beta: float,
+        *,
+        method: str = "auto",
+        seed: int = 0,
+        **options: object,
+    ) -> ServeSpannerResult:
+        """Build the cluster spanner of the graph behind ``digest``.
+
+        Runs server-side (decompositions on the server's pool, result
+        through its cache); repeats are warm hits.  The edge array is
+        bit-identical to a local
+        :func:`repro.spanners.ldd_spanner` with the same configuration.
+        """
+        response = self._call(
+            {
+                "op": "spanner",
+                "digest": digest,
+                "beta": beta,
+                "method": method,
+                "seed": seed,
+                "options": dict(options),
+            }
+        )
+        return ServeSpannerResult(
+            digest=response["digest"],
+            cached=bool(response["cached"]),
+            coalesced=bool(response["coalesced"]),
+            edges=decode_array(response["edges"]),
+            stretch_bound=int(response["stretch_bound"]),
+            num_tree_edges=int(response["num_tree_edges"]),
+            num_bridge_edges=int(response["num_bridge_edges"]),
+            num_edges=int(response["num_edges"]),
+            summary=dict(response["summary"]),
+        )
+
+    def lowstretch_tree(
+        self,
+        digest: str,
+        *,
+        beta: float = 0.5,
+        method: str = "auto",
+        seed: int = 0,
+        max_levels: int = 64,
+        **options: object,
+    ) -> ServeTreeResult:
+        """Build an AKPW low-stretch spanning forest server-side.
+
+        The parent array is bit-identical to a local
+        :func:`repro.lowstretch.akpw_spanning_tree` with the same
+        configuration.
+        """
+        response = self._call(
+            {
+                "op": "lowstretch_tree",
+                "digest": digest,
+                "beta": beta,
+                "method": method,
+                "seed": seed,
+                "max_levels": max_levels,
+                "options": dict(options),
+            }
+        )
+        return ServeTreeResult(
+            digest=response["digest"],
+            cached=bool(response["cached"]),
+            coalesced=bool(response["coalesced"]),
+            parent=decode_array(response["parent"]),
+            level_sizes=[
+                (int(a), int(b)) for a, b in response["level_sizes"]
+            ],
+            level_betas=[float(b) for b in response["level_betas"]],
+            num_levels=int(response["num_levels"]),
+        )
+
+    def hierarchy(
+        self,
+        digest: str,
+        *,
+        seed: int = 0,
+        method: str = "auto",
+        beta_max: float = 0.9,
+        radius_constant: float = 1.0,
+        **options: object,
+    ) -> ServeHierarchyResult:
+        """Build a laminar decomposition hierarchy server-side.
+
+        The label stack is bit-identical to a local
+        :func:`repro.embeddings.hierarchical_decomposition` with the same
+        configuration.
+        """
+        response = self._call(
+            {
+                "op": "hierarchy",
+                "digest": digest,
+                "seed": seed,
+                "method": method,
+                "beta_max": beta_max,
+                "radius_constant": radius_constant,
+                "options": dict(options),
+            }
+        )
+        return ServeHierarchyResult(
+            digest=response["digest"],
+            cached=bool(response["cached"]),
+            coalesced=bool(response["coalesced"]),
+            labels=[decode_array(level) for level in response["labels"]],
+            scale=[float(s) for s in response["scale"]],
+            num_levels=int(response["num_levels"]),
         )
 
     def stats(self) -> dict:

@@ -152,8 +152,10 @@ def canonical_cache_key(
     bound_options: Mapping[str, object],
     *,
     validate: bool = False,
+    op: str = "decompose",
+    extra: Mapping[str, object] | None = None,
 ) -> tuple:
-    """The hashable identity of one decomposition request.
+    """The hashable identity of one decomposition-service request.
 
     Two requests share a cache entry (and coalesce while in flight) iff
     their keys are equal.  Canonicalisation applied by the server before
@@ -165,12 +167,22 @@ def canonical_cache_key(
     still key on their own method name.  ``validate`` joins the key
     because a validated run's summary carries the invariant report; the
     assignment arrays are identical either way.
+
+    ``op`` namespaces the key per operation (``"decompose"``, or an
+    application op such as ``"spanner"``/``"lowstretch_tree"``/
+    ``"hierarchy"``), so a spanner and a raw decomposition of the same
+    configuration never collide in the shared cache.  ``extra`` carries
+    op-specific parameters that join the identity (e.g. the AKPW
+    ``max_levels`` or the hierarchy ``beta_max``), canonicalised like the
+    options mapping.
     """
     return (
+        str(op),
         str(graph_digest),
         float(beta),
         str(method),
         int(seed),
         tuple(sorted((str(k), v) for k, v in bound_options.items())),
         bool(validate),
+        tuple(sorted((str(k), v) for k, v in (extra or {}).items())),
     )

@@ -14,9 +14,19 @@ layers keep repeat traffic cheap:
 3. **coalescing** — N concurrent identical requests await one pool
    execution (the in-flight future), costing one worker slot, not N.
 
+Beyond raw decompositions, the server executes **application ops** —
+``spanner``, ``lowstretch_tree``, ``hierarchy`` — end to end: the
+application code runs server-side through a
+:class:`~repro.pipeline.PoolProvider` over the same worker pool, against
+the same store, and its results flow through the same cache and coalescing
+table (namespaced by op in the canonical key), so a warm spanner request
+costs a frame round trip, exactly like a warm decomposition.
+
 Registry mutations (upload, cache insert, coalesce bookkeeping) happen only
-on the event loop — single-threaded by construction, no locks.  The wire
-protocol is documented in :mod:`repro.serve.protocol` and DESIGN.md §7.
+on the event loop — single-threaded by construction, no locks; application
+ops run on executor threads but only touch the thread-safe cache, pool and
+provider.  The wire protocol is documented in :mod:`repro.serve.protocol`
+and DESIGN.md §7–8.
 
 Lifecycle: :meth:`DecompositionServer.run_async` inside an event loop you
 own, or :func:`serve_background` for a daemon-thread server in tests,
@@ -28,6 +38,7 @@ CI-spawned servers.
 from __future__ import annotations
 
 import asyncio
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -56,6 +67,12 @@ from repro.serve.store import GraphStore, graph_digest
 
 __all__ = ["DecompositionServer", "serve_background"]
 
+#: Application-op recursion graphs at or below this edge count run inline
+#: on the executor thread instead of crossing into the worker pool — a
+#: round trip costs more than a tiny decomposition, and the result is
+#: identical either way (derandomization).
+APP_INLINE_CUTOFF = 2048
+
 
 @dataclass(frozen=True)
 class _SlimResult:
@@ -75,6 +92,13 @@ def _slim_from_result(result: PartitionResult) -> _SlimResult:
     else:
         kind, per_vertex = "unweighted", decomposition.hops
     summary = result.summary()
+    # Trace fields remote consumers (ServeProvider) rebuild a
+    # PartitionTrace from; NaN is not valid JSON, hence None.
+    summary["wall_time_s"] = float(result.trace.wall_time_s)
+    summary["delta_max"] = (
+        None if math.isnan(result.trace.delta_max)
+        else float(result.trace.delta_max)
+    )
     if result.report is not None:
         summary["invariants_ok"] = result.report.all_invariants_hold()
     return _SlimResult(
@@ -141,11 +165,14 @@ class DecompositionServer:
         self.address: tuple[str, int] | None = None
         self.preloaded: tuple[str, ...] = ()
 
+        self._app_provider = None
         self._connections = 0
         self._requests_total = 0
         self._decompose_requests = 0
         self._coalesced = 0
         self._pool_executions = 0
+        self._app_requests = 0
+        self._app_executions = 0
         self._errors = 0
 
     # ------------------------------------------------------------------
@@ -163,6 +190,20 @@ class DecompositionServer:
         )
         try:
             self._store = GraphStore(self._pool)
+            # Application ops run through this provider: top-level graphs
+            # are already pool-resident under their digest (the store
+            # registered them), recursion-level graphs get ephemeral
+            # registrations, and tiny subproblems run inline on the
+            # executor thread.  It shares the server's ResultCache, so
+            # application-internal decompositions and client `decompose`
+            # requests draw on one byte budget (namespaced keys).
+            from repro.pipeline import PoolProvider
+
+            self._app_provider = PoolProvider(
+                self._pool,
+                memo=self._cache,
+                inline_cutoff=APP_INLINE_CUTOFF,
+            )
             self.preloaded = tuple(
                 self._store.put(graph)[0] for graph in self._preload
             )
@@ -221,6 +262,9 @@ class DecompositionServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._conn_tasks.clear()
+        provider, self._app_provider = self._app_provider, None
+        if provider is not None:
+            provider.close()
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown()
@@ -317,6 +361,7 @@ class DecompositionServer:
             "server": "repro.serve",
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
+            "ops": sorted(self._OPS),
             "methods": describe_methods(),
             "default_methods": dict(DEFAULT_METHODS),
             "formats": list(GRAPH_FORMATS),
@@ -357,74 +402,99 @@ class DecompositionServer:
             "weighted": isinstance(graph, WeightedCSRGraph),
         }
 
-    async def _op_decompose(self, message: dict) -> dict:
-        self._decompose_requests += 1
+    async def _op_discard(self, message: dict) -> dict:
+        """Drop an uploaded graph: unregister from the pool, unlink shared
+        memory.  Cooperative — the caller must not race its own in-flight
+        requests against the digest; result-cache entries keyed on it stay
+        valid (content addressing: a re-upload of the same bytes gets the
+        same digest and the same cached results).  Clients with bounded
+        upload budgets (``ServeProvider``) use this to cap server memory.
+        """
+        digest = message.get("digest")
+        if not isinstance(digest, str):
+            raise ParameterError("discard needs a string 'digest'")
+        self._store.discard(digest)
+        return {"ok": True, "digest": digest, "discarded": True}
+
+    # ------------------------------------------------------------------
+    # request parsing helpers (shared by decompose and application ops)
+    # ------------------------------------------------------------------
+    def _parse_graph_request(self, message: dict, op: str):
+        """Common fields of a graph-keyed op: digest, method, seed, options.
+
+        Returns ``(digest, graph, spec, bound, seed, options)`` with the
+        method resolved against the registry and the options validated.
+        """
         digest = message.get("digest")
         if not isinstance(digest, str):
             raise ParameterError(
-                "decompose needs a string 'digest' (upload the graph first)"
+                f"{op} needs a string 'digest' (upload the graph first)"
             )
         graph = self._store.get(digest)
-        if "beta" not in message:
-            raise ParameterError("decompose needs 'beta'")
-        beta = message["beta"]
-        if isinstance(beta, bool) or not isinstance(beta, (int, float)):
-            raise ParameterError(
-                f"'beta' must be a number, got {type(beta).__name__}"
-            )
         seed = message.get("seed", 0)
         if isinstance(seed, bool) or not isinstance(seed, int):
             raise ParameterError(
                 f"'seed' must be an integer (reproducibility is keyed on "
                 f"it), got {type(seed).__name__}"
             )
-        validate = bool(message.get("validate", False))
         options = message.get("options") or {}
         if not isinstance(options, dict):
             raise ParameterError(
                 f"'options' must be an object, got {type(options).__name__}"
             )
-        method = message.get("method", "auto")
-        spec = _resolve(graph, method)
+        spec = _resolve(graph, message.get("method", "auto"))
         bound = spec.bind(options)
-        key = canonical_cache_key(
-            digest, float(beta), spec.name, seed, bound, validate=validate
-        )
+        return digest, graph, spec, bound, seed, options
 
-        slim = self._cache.get(key)
-        if slim is not None:
-            return self._decompose_response(
-                digest, slim, cached=True, coalesced=False
+    @staticmethod
+    def _parse_number(
+        message: dict, field: str, op: str, default: float | None = None
+    ) -> float:
+        if field not in message:
+            if default is None:
+                raise ParameterError(f"{op} needs '{field}'")
+            return float(default)
+        value = message[field]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ParameterError(
+                f"'{field}' must be a number, got {type(value).__name__}"
+            )
+        return float(value)
+
+    @staticmethod
+    def _require_unweighted(graph: CSRGraph, op: str) -> None:
+        from repro.graphs.weighted import WeightedCSRGraph
+
+        if isinstance(graph, WeightedCSRGraph):
+            raise ParameterError(
+                f"the {op} op requires an unweighted graph (piece BFS "
+                "trees need hop counts); upload the topology without "
+                "weights"
             )
 
+    async def _memoized(self, key: tuple, compute):
+        """Serve ``key`` from cache, a coalesced in-flight peer, or compute.
+
+        ``compute`` is an async callable returning ``(value, nbytes)``;
+        exactly one execution runs per key at a time — concurrent identical
+        requests await the same future (shielded, so one impatient client's
+        cancellation cannot abort the execution its peers wait on).
+        Returns ``(value, cached, coalesced)``.
+        """
+        value = self._cache.get(key)
+        if value is not None:
+            return value, True, False
         inflight = self._inflight.get(key)
         if inflight is not None:
             self._coalesced += 1
-            # shield: one impatient client's cancellation must not abort
-            # the execution its coalesced peers are waiting on.
-            slim = await asyncio.shield(inflight)
-            return self._decompose_response(
-                digest, slim, cached=False, coalesced=True
-            )
-
+            return await asyncio.shield(inflight), False, True
         future = self._loop.create_future()
         self._inflight[key] = future
         try:
-            self._pool_executions += 1
-            result = await asyncio.wrap_future(
-                self._pool.submit(
-                    digest,
-                    float(beta),
-                    method=spec.name,
-                    seed=seed,
-                    validate=validate,
-                    **options,
-                )
-            )
-            slim = _slim_from_result(result)
-            self._cache.put(key, slim, slim.nbytes)
+            value, nbytes = await compute()
+            self._cache.put(key, value, nbytes)
             if not future.done():
-                future.set_result(slim)
+                future.set_result(value)
         except BaseException as exc:
             if not future.done():
                 future.set_exception(exc)
@@ -432,8 +502,40 @@ class DecompositionServer:
             raise
         finally:
             self._inflight.pop(key, None)
+        return value, False, False
+
+    # ------------------------------------------------------------------
+    # decompose op
+    # ------------------------------------------------------------------
+    async def _op_decompose(self, message: dict) -> dict:
+        self._decompose_requests += 1
+        digest, graph, spec, bound, seed, options = self._parse_graph_request(
+            message, "decompose"
+        )
+        beta = self._parse_number(message, "beta", "decompose")
+        validate = bool(message.get("validate", False))
+        key = canonical_cache_key(
+            digest, beta, spec.name, seed, bound, validate=validate
+        )
+
+        async def _compute():
+            self._pool_executions += 1
+            result = await asyncio.wrap_future(
+                self._pool.submit(
+                    digest,
+                    beta,
+                    method=spec.name,
+                    seed=seed,
+                    validate=validate,
+                    **options,
+                )
+            )
+            slim = _slim_from_result(result)
+            return slim, slim.nbytes
+
+        slim, cached, coalesced = await self._memoized(key, _compute)
         return self._decompose_response(
-            digest, slim, cached=False, coalesced=False
+            digest, slim, cached=cached, coalesced=coalesced
         )
 
     def _decompose_response(
@@ -450,7 +552,178 @@ class DecompositionServer:
             "per_vertex": encode_array(slim.per_vertex),
         }
 
+    # ------------------------------------------------------------------
+    # application ops
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _app_payload_nbytes(payload: dict) -> int:
+        """Cache accounting size of an app-op payload.
+
+        The cached value holds *encoded* arrays (base64 strings, 4/3 of
+        the raw bytes) plus metadata, so the charge is the encoded string
+        lengths — the dominant term — plus a flat overhead; charging raw
+        array nbytes would let app traffic overrun the shared byte budget.
+        """
+        total = 1024
+        stack = [payload]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, dict):
+                if "data" in node and isinstance(node.get("data"), str):
+                    total += len(node["data"])
+                else:
+                    stack.extend(node.values())
+            elif isinstance(node, list):
+                stack.extend(node)
+        return total
+
+    async def _run_app(self, key: tuple, build) -> tuple[dict, bool, bool]:
+        """Execute one application op through the cache/coalescing layer.
+
+        ``build`` runs on an executor thread (the application code blocks
+        on pool futures internally) and returns the client-ready payload;
+        its cache charge is :meth:`_app_payload_nbytes`.
+        """
+        self._app_requests += 1
+
+        async def _compute():
+            self._app_executions += 1
+            payload = await self._loop.run_in_executor(None, build)
+            return payload, self._app_payload_nbytes(payload)
+
+        return await self._memoized(key, _compute)
+
+    async def _op_spanner(self, message: dict) -> dict:
+        digest, graph, spec, bound, seed, options = self._parse_graph_request(
+            message, "spanner"
+        )
+        self._require_unweighted(graph, "spanner")
+        beta = self._parse_number(message, "beta", "spanner")
+        key = canonical_cache_key(
+            digest, beta, spec.name, seed, bound, op="spanner"
+        )
+
+        def _build():
+            from repro.spanners.cluster_spanner import ldd_spanner
+
+            res = ldd_spanner(
+                graph, beta, seed=seed, method=spec.name,
+                provider=self._app_provider, **options,
+            )
+            edges = res.spanner.edge_array()
+            payload = {
+                "op": "spanner",
+                "stretch_bound": int(res.stretch_bound),
+                "num_tree_edges": int(res.num_tree_edges),
+                "num_bridge_edges": int(res.num_bridge_edges),
+                "num_edges": int(res.num_edges),
+                "edges": encode_array(edges),
+                "summary": {
+                    "method": spec.name,
+                    **res.decomposition.summary(),
+                },
+            }
+            return payload
+
+        payload, cached, coalesced = await self._run_app(key, _build)
+        return {
+            "ok": True,
+            "digest": digest,
+            "cached": cached,
+            "coalesced": coalesced,
+            **payload,
+        }
+
+    async def _op_lowstretch_tree(self, message: dict) -> dict:
+        digest, graph, spec, bound, seed, options = self._parse_graph_request(
+            message, "lowstretch_tree"
+        )
+        self._require_unweighted(graph, "lowstretch_tree")
+        beta = self._parse_number(message, "beta", "lowstretch_tree", 0.5)
+        max_levels = message.get("max_levels", 64)
+        if isinstance(max_levels, bool) or not isinstance(max_levels, int):
+            raise ParameterError(
+                f"'max_levels' must be an integer, got "
+                f"{type(max_levels).__name__}"
+            )
+        key = canonical_cache_key(
+            digest, beta, spec.name, seed, bound,
+            op="lowstretch_tree", extra={"max_levels": max_levels},
+        )
+
+        def _build():
+            from repro.lowstretch.akpw import akpw_spanning_tree
+
+            res = akpw_spanning_tree(
+                graph, beta=beta, seed=seed, max_levels=max_levels,
+                method=spec.name, provider=self._app_provider, **options,
+            )
+            payload = {
+                "op": "lowstretch_tree",
+                "parent": encode_array(res.forest.parent),
+                "level_sizes": [list(pair) for pair in res.level_sizes],
+                "level_betas": list(res.level_betas),
+                "num_levels": int(res.num_levels),
+            }
+            return payload
+
+        payload, cached, coalesced = await self._run_app(key, _build)
+        return {
+            "ok": True,
+            "digest": digest,
+            "cached": cached,
+            "coalesced": coalesced,
+            **payload,
+        }
+
+    async def _op_hierarchy(self, message: dict) -> dict:
+        digest, graph, spec, bound, seed, options = self._parse_graph_request(
+            message, "hierarchy"
+        )
+        self._require_unweighted(graph, "hierarchy")
+        beta_max = self._parse_number(message, "beta_max", "hierarchy", 0.9)
+        radius_constant = self._parse_number(
+            message, "radius_constant", "hierarchy", 1.0
+        )
+        key = canonical_cache_key(
+            digest, 0.0, spec.name, seed, bound,
+            op="hierarchy",
+            extra={"beta_max": beta_max, "radius_constant": radius_constant},
+        )
+
+        def _build():
+            from repro.embeddings.hierarchy import hierarchical_decomposition
+
+            h = hierarchical_decomposition(
+                graph, seed=seed, beta_max=beta_max,
+                radius_constant=radius_constant, method=spec.name,
+                provider=self._app_provider, **options,
+            )
+            payload = {
+                "op": "hierarchy",
+                "labels": [encode_array(level) for level in h.labels],
+                "scale": [float(s) for s in h.scale],
+                "num_levels": int(h.num_levels),
+            }
+            return payload
+
+        payload, cached, coalesced = await self._run_app(key, _build)
+        return {
+            "ok": True,
+            "digest": digest,
+            "cached": cached,
+            "coalesced": coalesced,
+            **payload,
+        }
+
     async def _op_stats(self, message: dict) -> dict:
+        provider_stats = None
+        if self._app_provider is not None:
+            provider_stats = self._app_provider.stats()
+            # The provider shares the server cache and pool; their numbers
+            # are reported top-level already.
+            provider_stats.pop("memo", None)
+            provider_stats.pop("pool", None)
         return {
             "ok": True,
             "server": {
@@ -458,6 +731,8 @@ class DecompositionServer:
                 "connections": self._connections,
                 "requests_total": self._requests_total,
                 "decompose_requests": self._decompose_requests,
+                "app_requests": self._app_requests,
+                "app_executions": self._app_executions,
                 "coalesced": self._coalesced,
                 "pool_executions": self._pool_executions,
                 "errors": self._errors,
@@ -466,6 +741,7 @@ class DecompositionServer:
             "cache": self._cache.stats(),
             "store": self._store.stats(),
             "pool": self._pool.stats(),
+            "app_provider": provider_stats,
         }
 
     async def _op_shutdown(self, message: dict) -> dict:
@@ -477,7 +753,11 @@ class DecompositionServer:
     _OPS = {
         "hello": _op_hello,
         "upload": _op_upload,
+        "discard": _op_discard,
         "decompose": _op_decompose,
+        "spanner": _op_spanner,
+        "lowstretch_tree": _op_lowstretch_tree,
+        "hierarchy": _op_hierarchy,
         "stats": _op_stats,
         "shutdown": _op_shutdown,
     }

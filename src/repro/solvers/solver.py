@@ -55,6 +55,13 @@ class LaplacianSolver:
         The per-level decomposition parameter used by the AKPW tree.
     seed:
         Randomness for tree construction.
+    provider, method:
+        Pipeline routing for the tree's decompositions (see
+        :mod:`repro.pipeline`): any
+        :class:`~repro.pipeline.DecompositionProvider` backend and any
+        registered unweighted method.  Two solvers built with the same
+        configuration and a shared provider reuse every AKPW level from
+        the provider's memo.
     """
 
     def __init__(
@@ -64,6 +71,8 @@ class LaplacianSolver:
         preconditioner: str = "tree-akpw",
         beta: float = 0.5,
         seed: SeedLike = None,
+        provider=None,
+        method: str = "auto",
     ) -> None:
         if preconditioner not in PRECONDITIONERS:
             raise ParameterError(
@@ -77,13 +86,17 @@ class LaplacianSolver:
         if preconditioner == "ultrasparse":
             from repro.solvers.ultrasparse import UltrasparsifierPreconditioner
 
-            forest = akpw_spanning_tree(graph, beta=beta, seed=seed).forest
+            forest = akpw_spanning_tree(
+                graph, beta=beta, seed=seed, provider=provider, method=method
+            ).forest
             self._precond = UltrasparsifierPreconditioner(
                 graph, forest, seed=seed
             ).apply
             total_stretch = stretch_report(graph, forest).total
         elif preconditioner == "tree-akpw":
-            forest = akpw_spanning_tree(graph, beta=beta, seed=seed).forest
+            forest = akpw_spanning_tree(
+                graph, beta=beta, seed=seed, provider=provider, method=method
+            ).forest
             self._precond = TreePreconditioner(forest).apply
             total_stretch = stretch_report(graph, forest).total
         elif preconditioner == "tree-bfs":

@@ -25,13 +25,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.ldd_bfs import partition_bfs
 from repro.core.decomposition import Decomposition
 from repro.errors import GraphError
 from repro.graphs.build import from_edges
 from repro.graphs.csr import CSRGraph
 from repro.graphs.ops import quotient_graph
-from repro.rng.seeding import SeedLike
+from repro.pipeline import resolve_provider
+from repro.rng.seeding import SeedLike, ensure_int_seed
 from repro.trees.structure import bfs_forest_from_decomposition
 
 __all__ = ["SpannerResult", "ldd_spanner", "spanner_from_decomposition"]
@@ -64,10 +64,23 @@ def ldd_spanner(
     beta: float,
     *,
     seed: SeedLike = None,
+    method: str = "auto",
+    provider=None,
+    **options: object,
 ) -> SpannerResult:
-    """Decompose and build the cluster spanner in one call."""
-    decomposition, _ = partition_bfs(graph, beta, seed=seed)
-    return spanner_from_decomposition(decomposition)
+    """Decompose and build the cluster spanner in one call.
+
+    The decomposition runs through the pipeline layer: ``provider`` is any
+    :class:`~repro.pipeline.DecompositionProvider` (``None`` uses the
+    shared in-process engine provider) and ``method``/``**options`` select
+    any registered unweighted method.  Outputs are bit-identical across
+    providers.
+    """
+    provider = resolve_provider(provider)
+    result = provider.decompose(
+        graph, beta, method=method, seed=ensure_int_seed(seed), **options
+    )
+    return spanner_from_decomposition(result.decomposition)
 
 
 def spanner_from_decomposition(decomposition: Decomposition) -> SpannerResult:

@@ -269,6 +269,102 @@ class TestServeAndRequest:
                      "--json"]) == 0
         hello = json.loads(capsys.readouterr().out)
         assert any(m["name"] == "bfs" for m in hello["methods"])
+        assert "spanner" in hello["ops"]
+
+    def test_request_stats_table_by_default(self, server, capsys):
+        """Without --json, --stats renders the formatted counter table."""
+        connect = self._connect(server)
+        # Generate some traffic so the counters are non-trivial.
+        assert main([
+            "request", "--connect", connect, "--graph", "grid:6x6",
+            "--beta", "0.3", "--json",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["request", "--connect", connect, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "server:" in out and "cache:" in out and "pool:" in out
+        assert "hit_rate" in out
+        assert "completion_rate" in out
+        # It is a table, not a JSON dump.
+        assert not out.lstrip().startswith("{")
+
+    def test_spanner_subcommand_round_trip(self, server, capsys):
+        connect = self._connect(server)
+        argv = [
+            "spanner", "--connect", connect, "--graph", "grid:10x10",
+            "--beta", "0.3", "--seed", "2", "--json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cached"] is False
+        assert first["num_edges"] == (
+            first["num_tree_edges"] + first["num_bridge_edges"]
+        )
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cached"] is True
+        assert second["result_digest"] == first["result_digest"]
+
+    def test_spanner_matches_local_pipeline(self, server, capsys):
+        from repro.graphs.generators import grid_2d
+        from repro.pipeline import EngineProvider
+        from repro.spanners import ldd_spanner
+
+        local = ldd_spanner(
+            grid_2d(10, 10), 0.3, seed=2, provider=EngineProvider()
+        )
+        assert main([
+            "spanner", "--connect", self._connect(server),
+            "--graph", "grid:10x10", "--beta", "0.3", "--seed", "2",
+            "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_edges"] == local.num_edges
+        assert doc["stretch_bound"] == local.stretch_bound
+
+    def test_tree_subcommand_round_trip(self, server, capsys):
+        connect = self._connect(server)
+        argv = [
+            "tree", "--connect", connect, "--graph", "grid:10x10",
+            "--beta", "0.4", "--seed", "3", "--json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["num_levels"] >= 1
+        assert len(first["level_betas"]) == first["num_levels"]
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out)["cached"] is True
+
+    def test_hst_subcommand_round_trip(self, server, capsys):
+        connect = self._connect(server)
+        argv = [
+            "hst", "--connect", connect, "--graph", "grid:10x10",
+            "--seed", "4", "--json",
+        ]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_levels"] >= 2
+        # Level 0 is singletons; the top level is one piece per component.
+        assert doc["pieces_per_level"][0] == 100
+        assert doc["pieces_per_level"][-1] == 1
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out)["cached"] is True
+
+    def test_app_subcommand_with_method_and_options(self, server, capsys):
+        assert main([
+            "spanner", "--connect", self._connect(server),
+            "--graph", "grid:8x8", "--beta", "0.3", "--method", "bfs",
+            "--option", "tie_break=permutation", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["method"] == "bfs"
+
+    def test_app_subcommand_needs_target(self, server, capsys):
+        code = main([
+            "spanner", "--connect", self._connect(server), "--beta", "0.3",
+        ])
+        assert code == 2
+        assert "--digest" in capsys.readouterr().err
 
     def test_request_without_beta_is_cli_error(self, server, capsys):
         code = main([
