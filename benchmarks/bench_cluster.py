@@ -1,0 +1,451 @@
+"""Experiment CL — aggregate cluster throughput and v2 wire efficiency.
+
+The scaling claim behind `repro.cluster`: because decompositions are
+derandomized and content-addressed, a consistent-hash cluster of N shard
+servers multiplies *aggregate* warm throughput — each shard owns a slice
+of the digest space and answers its graphs from its own cache, with no
+cross-shard coordination.  This experiment measures the same warm request
+set two ways:
+
+- ``single-blocking`` — one server process, one blocking ``ServeClient``,
+  one request in flight at a time: the pre-cluster serving stack;
+- ``cluster-pipelined`` — 3 shard server processes behind a
+  ``ClusterRouter`` process, loaded by pipelined ``AsyncServeClient``
+  driver processes (several, so the load generator is never the
+  bottleneck); the aggregate is the sum of driver rates over a fixed
+  window.
+
+Both paths must produce digest-identical results for every configuration
+(the conformance contract that licenses sharding).  The request set spans
+several graphs because one digest routes to exactly one shard — aggregate
+scaling is a property of the workload mix, not of a single hot graph.
+
+Aggregate scaling is a *parallel-hardware* claim: with fewer cores than
+busy processes the topology just timeshares one CPU and no sharding
+arrangement can beat a single server.  Full mode therefore always
+measures and reports, but asserts the >= 3x floor only when the machine
+has at least ``MIN_CORES_FOR_FLOOR`` cores; below that the measured
+speedup is emitted (stdout + ``BENCH_cluster.json``) with the core count,
+not asserted.
+
+The second phase measures the protocol-v2 upload framing against v1 on a
+>= 100k-edge graph: raw little-endian buffers (with transport-side integer
+downcasting) versus base64 JSON.  Full mode asserts v2 <= 0.8x the v1
+frame bytes.  ``REPRO_BENCH_SMOKE=1`` (or ``--smoke``) shrinks the
+workload to a seconds-fast in-process path-exercise and skips the floors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro.cluster import cluster_background
+from repro.graphs.generators import erdos_renyi
+from repro.serve import ServeClient, graph_digest, serve_background
+from repro.serve.aio_client import AsyncServeClient
+from repro.serve.client import graph_upload_message
+from repro.serve.protocol import encode_frame
+
+from common import Table, bench_scale, emit_bench_json
+
+CL_BETAS = (0.25, 0.4)
+NUM_SHARDS = 3
+NUM_DRIVERS = 3
+#: seconds each driver spends hammering the warm cache in full mode.
+DRIVE_SECONDS = 3.0
+#: cores needed before the 3x floor is a fair ask: three busy shard
+#: processes, the router, and enough driver capacity to saturate them.
+MIN_CORES_FOR_FLOOR = 6
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _workload():
+    """(graphs, seeds-per-beta, timed-repeats) for the current mode."""
+    if _smoke():
+        graphs = [erdos_renyi(100, 0.2, seed=s) for s in range(6)]
+        return graphs, 2, 2
+    scale = bench_scale()
+    graphs = [erdos_renyi(1200 * scale, 0.04 / scale, seed=s) for s in range(6)]
+    return graphs, 4, 3
+
+
+# ----------------------------------------------------------------------
+# full mode: real processes — shards and router via the CLI, load via
+# driver subprocesses, so every component has its own interpreter/GIL.
+# ----------------------------------------------------------------------
+_SUBPROC_ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        p
+        for p in (
+            str(Path(repro.__file__).resolve().parents[1]),
+            os.environ.get("PYTHONPATH", ""),
+        )
+        if p
+    ),
+}
+
+_ROUTER_SRC = """
+import asyncio, sys
+from pathlib import Path
+from repro.cluster.router import ClusterRouter
+
+shards = [
+    (host, int(port))
+    for host, port in (a.rsplit(":", 1) for a in sys.argv[1].split(","))
+]
+router = ClusterRouter(shards, timeout=60.0)
+
+async def main():
+    await router.start()
+    Path(sys.argv[2]).write_text(str(router.address[1]))
+    await router._stop_event.wait()
+
+asyncio.run(main())
+"""
+
+_DRIVER_SRC = """
+import asyncio, sys, time
+from repro.serve.aio_client import AsyncServeClient
+
+host, port = sys.argv[1], int(sys.argv[2])
+start_at, duration = float(sys.argv[3]), float(sys.argv[4])
+configs = [
+    (digest, float(beta), int(seed))
+    for digest, beta, seed in (c.split("|") for c in sys.argv[5].split(","))
+]
+
+async def main():
+    async with AsyncServeClient(host, port, pool_size=4) as client:
+        warm = await asyncio.gather(
+            *(client.decompose(d, b, seed=s) for d, b, s in configs)
+        )
+        assert all(r.cached for r in warm), "cache not primed"
+        while time.time() < start_at:   # all drivers start together
+            await asyncio.sleep(0.005)
+        done = 0
+        begin = time.perf_counter()
+        while time.perf_counter() - begin < duration:
+            results = await asyncio.gather(
+                *(client.decompose(d, b, seed=s) for d, b, s in configs)
+            )
+            assert all(r.cached for r in results)
+            done += len(results)
+        print(done / (time.perf_counter() - begin))
+
+asyncio.run(main())
+"""
+
+
+def _wait_port_file(path: Path, timeout: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            text = path.read_text().strip()
+            if text:
+                return int(text)
+        time.sleep(0.05)
+    raise RuntimeError(f"no port file at {path} after {timeout}s")
+
+
+def _spawn_server(tmp: str, tag: str) -> tuple[subprocess.Popen, tuple[str, int]]:
+    port_file = Path(tmp) / f"port-{tag}"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--port-file", str(port_file),
+            "--workers", "2", "--ttl", "600",
+        ],
+        env=_SUBPROC_ENV,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    return proc, ("127.0.0.1", _wait_port_file(port_file))
+
+
+def _full_throughput(graphs, configs):
+    """(rate_single, rate_cluster, conformance-checked) on real processes."""
+    config_arg = ",".join(f"{d}|{b}|{s}" for d, b, s in configs)
+    with tempfile.TemporaryDirectory() as tmp:
+        procs: list[subprocess.Popen] = []
+        try:
+            # -- baseline: one server process, one blocking client ------
+            proc, addr = _spawn_server(tmp, "single")
+            procs.append(proc)
+            single_digests = {}
+            with ServeClient(*addr) as client:
+                for graph in graphs:
+                    client.upload_graph(graph)
+                for digest, beta, seed in configs:   # prime (cold pass)
+                    result = client.decompose(digest, beta, seed=seed)
+                    single_digests[(digest, beta, seed)] = (
+                        result.result_digest()
+                    )
+                done, begin = 0, time.perf_counter()
+                while time.perf_counter() - begin < DRIVE_SECONDS:
+                    for digest, beta, seed in configs:
+                        assert client.decompose(
+                            digest, beta, seed=seed
+                        ).cached
+                    done += len(configs)
+                rate_single = done / (time.perf_counter() - begin)
+                client.shutdown()
+
+            # -- cluster: NUM_SHARDS server processes + router process --
+            shards = []
+            for index in range(NUM_SHARDS):
+                proc, addr = _spawn_server(tmp, f"shard{index}")
+                procs.append(proc)
+                shards.append(addr)
+            router_port_file = Path(tmp) / "port-router"
+            router_proc = subprocess.Popen(
+                [
+                    sys.executable, "-c", _ROUTER_SRC,
+                    ",".join(f"{h}:{p}" for h, p in shards),
+                    str(router_port_file),
+                ],
+                env=_SUBPROC_ENV,
+            )
+            procs.append(router_proc)
+            router_addr = ("127.0.0.1", _wait_port_file(router_port_file))
+
+            # conformance before speed: the routed cold pass must match
+            # the single server bit for bit.
+            async def conformance_pass():
+                async with AsyncServeClient(
+                    *router_addr, pool_size=4
+                ) as client:
+                    for graph in graphs:
+                        await client.upload_graph(graph)
+                    cold = await asyncio.gather(
+                        *(
+                            client.decompose(digest, beta, seed=seed)
+                            for digest, beta, seed in configs
+                        )
+                    )
+                    for (digest, beta, seed), result in zip(configs, cold):
+                        assert result.result_digest() == single_digests[
+                            (digest, beta, seed)
+                        ], (
+                            f"cluster drifted from single server at "
+                            f"beta={beta} seed={seed}"
+                        )
+
+            asyncio.run(conformance_pass())
+
+            # -- timed: driver processes hammer the warm cache ----------
+            start_at = time.time() + 3.0
+            drivers = [
+                subprocess.Popen(
+                    [
+                        sys.executable, "-c", _DRIVER_SRC,
+                        router_addr[0], str(router_addr[1]),
+                        str(start_at), str(DRIVE_SECONDS), config_arg,
+                    ],
+                    env=_SUBPROC_ENV,
+                    stdout=subprocess.PIPE,
+                    text=True,
+                )
+                for _ in range(NUM_DRIVERS)
+            ]
+            rates = []
+            for driver in drivers:
+                out, _ = driver.communicate(timeout=120)
+                if driver.returncode != 0:
+                    raise RuntimeError("cluster driver process failed")
+                rates.append(float(out.strip()))
+            rate_cluster = sum(rates)
+
+            with ServeClient(*router_addr) as probe:
+                stats = probe.stats()
+            assert stats["router"]["alive"] == NUM_SHARDS
+            occupied = sum(
+                1 for entry in stats["shards"].values() if entry["graphs"]
+            )
+            assert occupied >= 2, (
+                "workload never spread beyond a single shard"
+            )
+            with ServeClient(*router_addr) as probe:
+                probe.shutdown()
+        finally:
+            for proc in procs:
+                proc.terminate()
+    return rate_single, rate_cluster
+
+
+def _smoke_throughput(graphs, configs, timed):
+    """In-process path exercise: cluster_background + one async client."""
+    single_digests = {}
+    with serve_background(graphs, max_workers=2) as server:
+        with ServeClient(*server.address) as client:
+            for digest, beta, seed in configs:
+                result = client.decompose(digest, beta, seed=seed)
+                single_digests[(digest, beta, seed)] = result.result_digest()
+            start = time.perf_counter()
+            for digest, beta, seed in timed:
+                assert client.decompose(digest, beta, seed=seed).cached
+            single_wall = time.perf_counter() - start
+    rate_single = len(timed) / single_wall
+
+    async def cluster_pass(router):
+        async with AsyncServeClient(*router.address, pool_size=4) as client:
+            cold = await asyncio.gather(
+                *(
+                    client.decompose(digest, beta, seed=seed)
+                    for digest, beta, seed in configs
+                )
+            )
+            for (digest, beta, seed), result in zip(configs, cold):
+                assert (
+                    result.result_digest()
+                    == single_digests[(digest, beta, seed)]
+                ), (
+                    f"cluster drifted from single server at beta={beta} "
+                    f"seed={seed}"
+                )
+            start = time.perf_counter()
+            warm = await asyncio.gather(
+                *(
+                    client.decompose(digest, beta, seed=seed)
+                    for digest, beta, seed in timed
+                )
+            )
+            wall = time.perf_counter() - start
+            assert all(r.cached for r in warm)
+            return wall
+
+    with cluster_background(
+        graphs, num_shards=NUM_SHARDS, max_workers=2
+    ) as router:
+        cluster_wall = asyncio.run(cluster_pass(router))
+        with ServeClient(*router.address) as probe:
+            stats = probe.stats()
+        assert stats["router"]["alive"] == NUM_SHARDS
+        occupied = sum(
+            1 for entry in stats["shards"].values() if entry["graphs"]
+        )
+        assert occupied >= 2, "workload never spread beyond a single shard"
+    return rate_single, len(timed) / cluster_wall
+
+
+def test_cluster_throughput():
+    graphs, seeds_per_beta, repeats = _workload()
+    configs = [
+        (graph_digest(graph), beta, seed)
+        for graph in graphs
+        for beta in CL_BETAS
+        for seed in range(seeds_per_beta)
+    ]
+
+    cores = os.cpu_count() or 1
+    if _smoke():
+        rate_single, rate_cluster = _smoke_throughput(
+            graphs, configs, configs * repeats
+        )
+    else:
+        rate_single, rate_cluster = _full_throughput(graphs, configs)
+    speedup = rate_cluster / rate_single
+
+    table = Table(
+        f"CL: aggregate warm throughput, {len(graphs)} graphs "
+        f"(~{graphs[0].num_edges} edges each), {cores} cores",
+        ["mode", "req_per_s"],
+    )
+    table.add("single-blocking", rate_single)
+    table.add(f"cluster-pipelined[{NUM_SHARDS}]", rate_cluster)
+    table.show()
+    print(f"CL speedup: {speedup:.2f}x")
+
+    emit_bench_json(
+        "cluster",
+        {
+            "throughput": {
+                "single_blocking_req_per_s": rate_single,
+                "cluster_pipelined_req_per_s": rate_cluster,
+                "shards": NUM_SHARDS,
+                "drivers": NUM_DRIVERS,
+                "speedup": speedup,
+                "cores": cores,
+                "floor_asserted": (
+                    not _smoke() and cores >= MIN_CORES_FOR_FLOOR
+                ),
+                "graphs": len(graphs),
+                "edges_per_graph": graphs[0].num_edges,
+                "smoke": _smoke(),
+            }
+        },
+    )
+
+    if not _smoke():
+        if cores >= MIN_CORES_FOR_FLOOR:
+            assert speedup >= 3.0, (
+                f"cluster only {speedup:.1f}x aggregate warm throughput "
+                "over a blocking single-server client — sharding is not "
+                "earning its keep"
+            )
+        else:
+            print(
+                f"CL floor skipped: {cores} core(s) < "
+                f"{MIN_CORES_FOR_FLOOR} — {NUM_SHARDS} shard processes "
+                f"cannot scale without parallel hardware; measured "
+                f"{speedup:.2f}x reported, not asserted"
+            )
+
+
+def test_upload_wire_bytes():
+    """v2 binary upload framing vs v1 base64 JSON on one large graph."""
+    if _smoke():
+        graph = erdos_renyi(300, 0.2, seed=9)
+    else:
+        scale = bench_scale()
+        graph = erdos_renyi(800 * scale, 0.4 / scale, seed=9)
+
+    v1_bytes = len(encode_frame(graph_upload_message(graph, 1), 1))
+    v2_bytes = len(encode_frame(graph_upload_message(graph, 2), 2))
+    ratio = v2_bytes / v1_bytes
+
+    table = Table(
+        f"CL-WIRE: upload frame bytes, n={graph.num_vertices} "
+        f"m={graph.num_edges}",
+        ["protocol", "frame_bytes", "vs_v1"],
+    )
+    table.add("v1 (base64 JSON)", v1_bytes, 1.0)
+    table.add("v2 (binary)", v2_bytes, ratio)
+    table.show()
+
+    emit_bench_json(
+        "cluster",
+        {
+            "upload_wire": {
+                "v1_frame_bytes": v1_bytes,
+                "v2_frame_bytes": v2_bytes,
+                "v2_over_v1": ratio,
+                "num_edges": graph.num_edges,
+                "smoke": _smoke(),
+            }
+        },
+    )
+
+    if not _smoke():
+        assert graph.num_edges >= 100_000
+        assert ratio <= 0.8, (
+            f"v2 upload frames are {ratio:.2f}x v1 — the binary framing "
+            "should cut at least 20% off upload bytes"
+        )
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    test_cluster_throughput()
+    test_upload_wire_bytes()

@@ -39,7 +39,7 @@ from repro.pipeline import EngineProvider
 from repro.serve import ServeClient, serve_background
 from repro.spanners import ldd_spanner
 
-from common import Table, bench_scale
+from common import Table, bench_scale, emit_bench_json
 
 #: (beta, seed) request set; every entry is requested once cold, once warm.
 SV_BETAS = (0.25, 0.4)
@@ -121,6 +121,7 @@ def test_serve_latency():
         ["mode", "p50_ms", "p99_ms", "req_per_s"],
     )
     rates = {}
+    report = {}
     for mode, latencies in (
         ("direct", direct_lat),
         ("cold", cold_lat),
@@ -129,7 +130,22 @@ def test_serve_latency():
         p50, p99 = _percentiles_ms(latencies)
         rates[mode] = len(latencies) / sum(latencies)
         table.add(mode, p50, p99, rates[mode])
+        report[mode] = {
+            "p50_ms": p50, "p99_ms": p99, "req_per_s": rates[mode]
+        }
     table.show()
+    emit_bench_json(
+        "serve",
+        {
+            "decompose": report,
+            "workload": {
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "requests_per_pass": len(configs),
+                "smoke": _smoke(),
+            },
+        },
+    )
 
     if not _smoke():
         assert graph.num_edges >= 100_000
@@ -187,11 +203,16 @@ def test_spanner_serve_latency():
         ["mode", "p50_ms", "p99_ms", "req_per_s"],
     )
     rates = {}
+    report = {}
     for mode, latencies in (("cold", cold_lat), ("warm", warm_lat)):
         p50, p99 = _percentiles_ms(latencies)
         rates[mode] = len(latencies) / sum(latencies)
         table.add(mode, p50, p99, rates[mode])
+        report[mode] = {
+            "p50_ms": p50, "p99_ms": p99, "req_per_s": rates[mode]
+        }
     table.show()
+    emit_bench_json("serve", {"spanner": report})
 
     if not _smoke():
         speedup = rates["warm"] / rates["cold"]

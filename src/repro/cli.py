@@ -25,6 +25,13 @@ Subcommands
     result cache, and request coalescing.  ``--port 0`` picks a free port
     (written to ``--port-file`` for scripts); ``--ttl`` arms the idle
     shutdown watchdog.
+``cluster``
+    Run a sharded cluster (:mod:`repro.cluster`): ``--shards N`` spawns N
+    decomposition servers on ephemeral ports plus a consistent-hash
+    router in front; clients connect to the router's address and every
+    serve-protocol op — including ``request`` and the application
+    subcommands below — works unchanged, routed to the shard owning each
+    graph digest.
 ``request``
     Drive a running server: upload a generated graph or graph file (or
     reference an earlier upload by ``--digest``), request a decomposition,
@@ -234,6 +241,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="shut down after this many idle seconds (CI guard rail)",
     )
 
+    p_cl = sub.add_parser(
+        "cluster",
+        help="run a sharded cluster: N decomposition servers behind a "
+        "consistent-hash router",
+    )
+    p_cl.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="number of shard servers to spawn (ephemeral ports)",
+    )
+    p_cl.add_argument("--host", default="127.0.0.1",
+                      help="router bind address")
+    p_cl.add_argument(
+        "--port", type=int, default=0,
+        help="router port; 0 picks a free port"
+    )
+    p_cl.add_argument(
+        "--port-file",
+        default=None,
+        help="write the router's bound port here once listening",
+    )
+    p_cl.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="generator spec to preload through the router (repeatable)",
+    )
+    p_cl.add_argument(
+        "--graph-file",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="graph file to preload (repeatable; format by extension)",
+    )
+    p_cl.add_argument("--seed", type=int, default=0,
+                      help="seed for --graph generation")
+    p_cl.add_argument(
+        "--weights",
+        default=None,
+        metavar="SPEC",
+        help="lift preloaded --graph specs to weighted edges",
+    )
+    p_cl.add_argument("--workers", type=int, default=None,
+                      help="pool width per shard (default: CPU count)")
+    p_cl.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="result-cache byte budget per shard (default: 256 MiB)",
+    )
+    p_cl.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="virtual nodes per shard on the hash ring (default: 64)",
+    )
+    p_cl.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="shut the cluster down after this many idle seconds",
+    )
+
     p_req = sub.add_parser(
         "request", help="send one request to a running decomposition server"
     )
@@ -378,6 +450,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_bench_throughput(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
         if args.command == "request":
             return _cmd_request(args)
         if args.command in ("spanner", "tree", "hst"):
@@ -652,6 +726,93 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import threading
+    from contextlib import ExitStack
+    from pathlib import Path
+
+    from repro.cluster.router import ClusterRouter
+    from repro.errors import ParameterError
+    from repro.graphs.generators import by_name
+    from repro.graphs.io import load_graph
+    from repro.graphs.weighted import weights_by_name
+    from repro.serve.cache import DEFAULT_MAX_BYTES
+    from repro.serve.client import ServeClient
+    from repro.serve.server import serve_background
+
+    if args.shards < 1:
+        raise ParameterError(f"--shards must be >= 1, got {args.shards}")
+    graphs = []
+    for spec in args.graph:
+        graph = by_name(spec, seed=args.seed)
+        if args.weights:
+            graph = weights_by_name(graph, args.weights, seed=args.seed)
+        graphs.append(graph)
+    for path in args.graph_file:
+        graphs.append(load_graph(path))
+    cache_bytes = (
+        DEFAULT_MAX_BYTES if args.cache_bytes is None else args.cache_bytes
+    )
+    router_kwargs = {}
+    if args.replicas is not None:
+        router_kwargs["replicas"] = args.replicas
+    with ExitStack() as stack:
+        shards = [
+            stack.enter_context(
+                serve_background(
+                    max_workers=args.workers, cache_bytes=cache_bytes
+                )
+            )
+            for _ in range(args.shards)
+        ]
+        router = ClusterRouter(
+            [shard.address for shard in shards],
+            host=args.host,
+            port=args.port,
+            owns_shards=True,
+            idle_ttl=args.ttl,
+            **router_kwargs,
+        )
+        ready = threading.Event()
+
+        def _announce() -> None:
+            # Runs on its own thread: preloads go through the router over
+            # a real client connection, which must not block the router's
+            # event loop (the ready callback runs on it).
+            ready.wait()
+            if router.address is None:  # pragma: no cover - startup failure
+                return
+            host, port = router.address
+            for graph in graphs:
+                with ServeClient(host, port) as client:
+                    response = client.upload_graph(graph)
+                print(
+                    f"preloaded graph {response['digest']} "
+                    f"-> shard {response['shard']}",
+                    flush=True,
+                )
+            print(
+                f"repro.cluster routing {len(shards)} shard(s) "
+                f"on {host}:{port}",
+                flush=True,
+            )
+            for label in router.shard_labels:
+                print(f"shard {label}", flush=True)
+            if args.port_file:
+                Path(args.port_file).write_text(f"{port}\n")
+
+        announcer = threading.Thread(
+            target=_announce, daemon=True, name="repro-cluster-announce"
+        )
+        announcer.start()
+        try:
+            asyncio.run(router.run_async(ready=ready))
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            print("interrupted; cluster stopped", file=sys.stderr)
+    return 0
+
+
 def _parse_connect(connect: str) -> tuple[str, int]:
     from repro.errors import ParameterError
 
@@ -789,12 +950,20 @@ def _print_stats_table(doc: dict) -> None:
             ),
         },
     }
-    for section in ("server", "cache", "store", "pool", "app_provider"):
+    for section in (
+        "router", "server", "cache", "store", "pool", "app_provider"
+    ):
         block = doc.get(section)
         if not isinstance(block, dict):
             continue
-        rows = dict(block)
+        # Scalar rows only: cluster documents nest per-shard blocks the
+        # table cannot align (use --json for those).
+        rows = {
+            k: v for k, v in block.items() if not isinstance(v, (dict, list))
+        }
         rows.update(derived.get(section, {}))
+        if not rows:
+            continue
         print(f"{section}:")
         width = max(len(k) for k in rows)
         for key, value in rows.items():

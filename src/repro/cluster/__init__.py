@@ -1,0 +1,38 @@
+"""Sharded serving: consistent-hash routing over N decomposition servers.
+
+The horizontal-scale layer the ROADMAP's "millions of users" step names.
+Decompositions are derandomized and content-addressed — *same digest,
+same graph, same cached bytes* — which makes them embarrassingly
+shardable: a deterministic digest → shard map sends every request for a
+graph to the one server holding that graph and every memoized result for
+it.  No shared state, no cross-shard invalidation; aggregate warm
+throughput scales with the shard count.
+
+- :mod:`repro.cluster.hash_ring` — :class:`HashRing`, the digest → shard
+  map (SHA-256 vnodes, never mutated at runtime);
+- :mod:`repro.cluster.router` — :class:`ClusterRouter`, the protocol-
+  compatible front that hashes, forwards, fans out ``stats``, and names
+  dead shards in error frames; :func:`router_background` thread harness;
+- :mod:`repro.cluster.provider` — :class:`ClusterProvider`, the
+  pipeline seam (``provider="cluster:HOST:PORT"``);
+- :mod:`repro.cluster.deploy` — :func:`cluster_background`, a whole
+  cluster on daemon threads for tests/benchmarks.
+
+CLI: ``repro cluster --shards N`` spawns shards + router in one process.
+Architecture and the v2 binary frame layout: DESIGN.md §9; throughput
+numbers: the CL benchmark (``benchmarks/bench_cluster.py``).
+"""
+
+from repro.cluster.deploy import cluster_background
+from repro.cluster.hash_ring import DEFAULT_REPLICAS, HashRing
+from repro.cluster.provider import ClusterProvider
+from repro.cluster.router import ClusterRouter, router_background
+
+__all__ = [
+    "HashRing",
+    "DEFAULT_REPLICAS",
+    "ClusterRouter",
+    "ClusterProvider",
+    "router_background",
+    "cluster_background",
+]

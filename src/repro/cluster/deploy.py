@@ -1,0 +1,72 @@
+"""Single-process cluster deployment harnesses.
+
+:func:`cluster_background` stands up a whole cluster — N shard servers
+plus the router — on daemon threads in the current process, for tests,
+benchmarks, and notebooks.  Each shard is a full
+:class:`~repro.serve.server.DecompositionServer` with its own event loop,
+worker pool, store, and cache (exactly the process-per-shard topology,
+minus the processes), so cross-shard behaviour — routing stability,
+upload-on-miss, dead-shard degradation — is exercised for real.
+
+The ``repro cluster`` CLI builds the same topology for actual serving;
+see :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+
+from repro.cluster.router import router_background
+from repro.serve.client import ServeClient
+from repro.serve.server import serve_background
+
+__all__ = ["cluster_background"]
+
+
+@contextmanager
+def cluster_background(
+    graphs=None,
+    *,
+    num_shards: int = 2,
+    max_workers: int | None = None,
+    replicas: int | None = None,
+    owns_shards: bool = False,
+    **shard_kwargs,
+):
+    """N shard servers + a router, all on daemon threads.
+
+    Yields the started :class:`ClusterRouter` (``router.address`` is what
+    clients connect to; ``router.shard_labels`` names the members).
+    ``graphs`` are preloaded *through the router*, so each lands on — and
+    only on — its owning shard.  Extra keyword arguments
+    (``cache_bytes``, ``idle_ttl``, ``start_method``) go to every shard.
+
+    ::
+
+        with cluster_background(graph, num_shards=3) as router:
+            with ServeClient(*router.address) as client:
+                client.decompose(digest, 0.3)   # lands on digest's owner
+    """
+    from repro.graphs.csr import CSRGraph
+
+    if isinstance(graphs, CSRGraph):
+        graphs = [graphs]
+    router_kwargs = {"owns_shards": owns_shards}
+    if replicas is not None:
+        router_kwargs["replicas"] = replicas
+    with ExitStack() as stack:
+        shards = [
+            stack.enter_context(
+                serve_background(max_workers=max_workers, **shard_kwargs)
+            )
+            for _ in range(int(num_shards))
+        ]
+        router = stack.enter_context(
+            router_background(
+                [shard.address for shard in shards], **router_kwargs
+            )
+        )
+        for graph in graphs or ():
+            with ServeClient(*router.address) as client:
+                client.upload_graph(graph)
+        yield router

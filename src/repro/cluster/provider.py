@@ -1,0 +1,35 @@
+"""`ClusterProvider` — the pipeline seam pointed at a sharded cluster.
+
+A :class:`~repro.cluster.router.ClusterRouter` speaks the serve protocol
+bit for bit, so the provider mechanics are exactly
+:class:`~repro.pipeline.providers.ServeProvider`: upload once by content
+digest, reference by digest, rebuild full results locally.  What changes
+is where requests land — the router consistent-hashes each digest to its
+owning shard, so one provider transparently spreads a multi-graph
+workload (a solver sweep, a benchmark corpus) across N servers, and the
+provider's existing *unknown graph digest* self-heal re-uploads through
+the router (which forwards to the same owner — routing is deterministic)
+if a shard restarted or evicted the graph.
+
+The subclass exists so applications and stats can tell the transports
+apart (``backend="cluster"``), and as the registration point for the
+``"cluster:HOST:PORT"`` provider spec in
+:func:`repro.pipeline.resolve_provider`.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.providers import ServeProvider
+
+__all__ = ["ClusterProvider"]
+
+
+class ClusterProvider(ServeProvider):
+    """Remote backend against a :class:`ClusterRouter` front.
+
+    Accepts the same arguments as :class:`ServeProvider` (a connected
+    ``ServeClient`` or an ``address=(host, port)`` pointing at the
+    router).
+    """
+
+    backend = "cluster"

@@ -24,6 +24,7 @@ from repro.pipeline.providers import (
     PoolProvider,
     ServeProvider,
     default_provider,
+    provider_from_spec,
     resolve_provider,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "PoolProvider",
     "ServeProvider",
     "default_provider",
+    "provider_from_spec",
     "resolve_provider",
 ]

@@ -52,6 +52,7 @@ __all__ = [
     "PoolProvider",
     "ServeProvider",
     "default_provider",
+    "provider_from_spec",
     "resolve_provider",
 ]
 
@@ -462,10 +463,10 @@ class ServeProvider(DecompositionProvider):
                 if digest in self._own_uploads:
                     self._own_uploads.move_to_end(digest)
                 return
-        from repro.graphs.io import to_json
-
         try:
-            response = self._client.upload_text(to_json(graph), format="json")
+            # Binary arrays against a v2 server/router, JSON text against
+            # v1 — the client negotiated; the digest is format-neutral.
+            response = self._client.upload_graph(graph)
         except BaseException:
             self._release_upload(digest)
             raise
@@ -595,16 +596,74 @@ def default_provider() -> EngineProvider:
         return _DEFAULT
 
 
+def provider_from_spec(spec: str) -> DecompositionProvider:
+    """Build a provider from a backend spec string.
+
+    Accepted forms::
+
+        engine                  in-process serial engine
+        pool                    owned DecompositionPool (CPU-count workers)
+        pool:WORKERS            owned pool with an explicit width
+        serve:HOST:PORT         ServeClient against a running server
+        cluster:HOST:PORT       ServeClient against a running ClusterRouter
+
+    The returned provider owns whatever backend the spec names — close it
+    (or use it as a context manager) when done.  Specs are how configs and
+    CLIs choose a transport without importing backend classes; code that
+    already holds a provider object passes it directly.
+    """
+    kind, _, rest = spec.partition(":")
+    if kind == "engine":
+        if rest:
+            raise ParameterError(
+                f"the engine spec takes no arguments, got {spec!r}"
+            )
+        return EngineProvider()
+    if kind == "pool":
+        if not rest:
+            return PoolProvider()
+        try:
+            workers = int(rest)
+        except ValueError:
+            raise ParameterError(
+                f"pool spec expects 'pool' or 'pool:WORKERS', got {spec!r}"
+            ) from None
+        return PoolProvider(max_workers=workers)
+    if kind in ("serve", "cluster"):
+        host, sep, port_text = rest.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            port = -1
+        if not sep or not host or port < 0:
+            raise ParameterError(
+                f"{kind} spec expects '{kind}:HOST:PORT', got {spec!r}"
+            )
+        if kind == "cluster":
+            from repro.cluster.provider import ClusterProvider
+
+            return ClusterProvider(address=(host, port))
+        return ServeProvider(address=(host, port))
+    raise ParameterError(
+        f"unknown provider spec {spec!r}; expected engine, pool[:WORKERS], "
+        f"serve:HOST:PORT, or cluster:HOST:PORT"
+    )
+
+
 def resolve_provider(
-    provider: "DecompositionProvider | None",
+    provider: "DecompositionProvider | str | None",
 ) -> DecompositionProvider:
-    """``provider`` itself, or the shared default when ``None``."""
+    """``provider`` itself, the shared default when ``None``, or a new
+    provider built from a spec string (see :func:`provider_from_spec` —
+    string-resolved providers are owned by the caller)."""
     if provider is None:
         return default_provider()
+    if isinstance(provider, str):
+        return provider_from_spec(provider)
     if not isinstance(provider, DecompositionProvider):
         raise ParameterError(
-            f"provider must be a DecompositionProvider, got "
-            f"{type(provider).__name__}"
+            f"provider must be a DecompositionProvider, a spec string, or "
+            f"None, got {type(provider).__name__}"
         )
     return provider
 

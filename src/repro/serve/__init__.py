@@ -17,13 +17,16 @@ execution.
 - :mod:`repro.serve.server` — :class:`DecompositionServer` (asyncio) and
   the :func:`serve_background` thread harness;
 - :mod:`repro.serve.client` — blocking :class:`ServeClient` /
-  :class:`ServeResult`.
+  :class:`ServeResult`;
+- :mod:`repro.serve.aio_client` — :class:`AsyncServeClient`, a pooled
+  asyncio client that pipelines many in-flight requests per connection.
 
 CLI: ``repro serve`` starts a server, ``repro request`` drives it.  See
 DESIGN.md §7 for the architecture and the SV benchmark for the latency
 numbers the layer exists to hit.
 """
 
+from repro.serve.aio_client import AsyncServeClient
 from repro.serve.cache import ResultCache
 from repro.serve.client import (
     ServeClient,
@@ -46,6 +49,7 @@ __all__ = [
     "DecompositionServer",
     "serve_background",
     "ServeClient",
+    "AsyncServeClient",
     "ServeResult",
     "ServeSpannerResult",
     "ServeTreeResult",

@@ -1,0 +1,521 @@
+"""`AsyncServeClient` — pooled, pipelined asyncio client for the service.
+
+The sync :class:`~repro.serve.client.ServeClient` is one connection with
+one outstanding request: simple, but a workload of independent requests
+pays a full round trip each.  This client removes both serialisation
+points:
+
+- **pipelining** — every request carries a client-assigned ``id`` the
+  server echoes; many requests ride one connection concurrently and
+  responses are matched to awaiting futures as they arrive, in whatever
+  order the server finishes them;
+- **pooling** — up to ``pool_size`` connections are opened lazily and
+  each call rides the least-loaded one, so a slow cold decomposition
+  never blocks a stream of warm cache hits behind it.
+
+Protocol negotiation is eager and per-connection: the first frame on a
+new connection is a v1 ``hello``, after which the connection speaks the
+highest generation both sides support (binary v2 against current
+servers).  The operation surface mirrors the sync client —
+``upload`` / ``decompose`` / ``spanner`` / ``lowstretch_tree`` /
+``hierarchy`` / ``stats`` — returning the same result dataclasses, so
+conformance checks (`result_digest()`) are interchangeable across
+clients.
+
+Everything here must run on one event loop (the one that created the
+client); the class is not thread-safe.  For blocking code, use
+:class:`ServeClient`; for sharding across servers, see
+:mod:`repro.cluster`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ParameterError, ServeError
+from repro.graphs.csr import CSRGraph
+from repro.serve.client import (
+    ServeHierarchyResult,
+    ServeResult,
+    ServeSpannerResult,
+    ServeTreeResult,
+    check_response,
+    graph_upload_message,
+    hierarchy_from_response,
+    negotiated_protocol,
+    result_from_response,
+    spanner_from_response,
+    tree_from_response,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    encode_frame,
+    frame_protocol,
+    decode_frame_payload,
+    parse_frame_length,
+    peek_frame_fields,
+)
+
+__all__ = ["AsyncServeClient"]
+
+
+class _Connection:
+    """One pipelined connection: id-keyed futures fed by a reader task."""
+
+    def __init__(self, reader, writer, protocol: int, hello: dict) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.protocol = protocol
+        self.hello = hello
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float,
+        connect_window: float,
+        max_protocol: int,
+    ) -> "_Connection":
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, float(connect_window))
+        delay = 0.05
+        while True:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout
+                )
+                break
+            except (OSError, asyncio.TimeoutError) as exc:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    raise ServeError(
+                        f"cannot connect to decomposition server at "
+                        f"{host}:{port}: {exc}"
+                    ) from None
+                await asyncio.sleep(min(delay, remaining))
+                delay = min(delay * 2, 0.8)
+        # Negotiate before the reader task exists: one v1 hello, one
+        # response, nothing else in flight on the stream yet.
+        try:
+            writer.write(encode_frame({"op": "hello"}, 1))
+            await writer.drain()
+            hello = check_response(
+                await asyncio.wait_for(cls._read_frame(reader), timeout)
+            )
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+            writer.close()
+            raise ServeError(
+                f"handshake with {host}:{port} failed: {exc}"
+            ) from None
+        except ServeError:
+            writer.close()
+            raise
+        protocol = negotiated_protocol(hello, max_protocol)
+        return cls(reader, writer, protocol, hello)
+
+    @staticmethod
+    async def _read_frame(reader) -> dict | None:
+        try:
+            header = await reader.readexactly(4)
+        except asyncio.IncompleteReadError:
+            return None  # clean EOF at a frame boundary
+        length = parse_frame_length(header)
+        body = await reader.readexactly(length)
+        return decode_frame_payload(body)
+
+    @staticmethod
+    async def _read_frame_raw(reader) -> tuple[dict, bytes] | None:
+        """(control fields, raw body) of the next frame; ``None`` on EOF.
+
+        Arrays are *not* materialised — the reader loop only needs the
+        ``id`` to route the response, and relay callers never decode at
+        all.
+        """
+        try:
+            header = await reader.readexactly(4)
+        except asyncio.IncompleteReadError:
+            return None
+        length = parse_frame_length(header)
+        body = await reader.readexactly(length)
+        return peek_frame_fields(body), body
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)
+
+    async def close(self) -> None:
+        self._fail_pending(ServeError("connection closed"))
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+    # -- request/response ----------------------------------------------
+    async def call(
+        self, message: dict, timeout: float, *, raw: bool = False
+    ) -> dict | tuple[dict, bytes]:
+        if self._closed:
+            raise ServeError("connection closed")
+        request_id = self._next_id
+        self._next_id += 1
+        message = {**message, "id": request_id}
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(
+                    encode_frame(message, self.protocol)
+                )
+                await self._writer.drain()
+        except (OSError, ConnectionError) as exc:
+            self._pending.pop(request_id, None)
+            self._closed = True
+            raise ServeError(
+                f"connection to server lost: {exc}"
+            ) from None
+        # A plain timer beats asyncio.wait_for here: no wrapper task per
+        # request, and ids make a timeout non-fatal for the stream — the
+        # future is dropped and the reader discards the late response.
+        handle = loop.call_later(
+            timeout, self._expire, request_id, message.get("op"), timeout
+        )
+        try:
+            fields, body = await future
+        finally:
+            handle.cancel()
+        if raw:
+            return fields, body
+        response = decode_frame_payload(body)
+        response.pop("id", None)
+        return response
+
+    def _expire(self, request_id: int, op, timeout: float) -> None:
+        future = self._pending.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_exception(ServeError(
+                f"timed out after {timeout}s waiting for op {op!r}"
+            ))
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await self._read_frame_raw(self._reader)
+                if frame is None:
+                    self._fail_pending(
+                        ServeError("server closed the connection")
+                    )
+                    return
+                fields, body = frame
+                future = self._pending.pop(fields.get("id"), None)
+                if future is not None:
+                    if not future.done():
+                        future.set_result((fields, body))
+                elif not fields.get("ok", True):
+                    # An un-addressed error frame is the server's framing
+                    # complaint; it will drop the stream next, so every
+                    # outstanding request is dead.
+                    self._fail_pending(ServeError(
+                        f"{fields.get('error', 'Error')}: "
+                        f"{fields.get('message', 'server error')}"
+                    ))
+                    return
+        except (OSError, ServeError, asyncio.IncompleteReadError) as exc:
+            self._fail_pending(
+                ServeError(f"connection to server lost: {exc}")
+            )
+        except asyncio.CancelledError:
+            self._fail_pending(ServeError("connection closed"))
+            raise
+
+    def _fail_pending(self, exc: ServeError) -> None:
+        self._closed = True
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+
+class AsyncServeClient:
+    """Asyncio client with a connection pool and request pipelining.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Per-request seconds to wait for a response (and for connect and
+        handshake steps).
+    pool_size:
+        Maximum connections to open; each call rides the least-loaded
+        live connection, new ones are opened only while every existing
+        connection is busy.
+    connect_window:
+        Seconds of exponential-backoff retry for refused connects
+        (``0`` = single attempt).
+    max_protocol:
+        Ceiling on the negotiated protocol generation (``1`` forces
+        base64 JSON frames).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 60.0,
+        pool_size: int = 4,
+        connect_window: float = 2.0,
+        max_protocol: int = PROTOCOL_VERSION,
+    ) -> None:
+        if pool_size < 1:
+            raise ParameterError(
+                f"pool_size must be >= 1, got {pool_size}"
+            )
+        if not 1 <= int(max_protocol) <= PROTOCOL_VERSION:
+            raise ParameterError(
+                f"max_protocol must be in [1, {PROTOCOL_VERSION}], "
+                f"got {max_protocol!r}"
+            )
+        self._host = host
+        self._port = int(port)
+        self._timeout = float(timeout)
+        self._pool_size = int(pool_size)
+        self._connect_window = float(connect_window)
+        self._max_protocol = int(max_protocol)
+        self._conns: list[_Connection] = []
+        self._open_lock = asyncio.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # pool
+    # ------------------------------------------------------------------
+    async def _acquire(self) -> _Connection:
+        """The least-loaded live connection, opening lazily up to the cap."""
+        if self._closed:
+            raise ServeError("client is closed")
+        self._conns = [c for c in self._conns if not c.closed]
+        idle = [c for c in self._conns if c.inflight == 0]
+        if idle:
+            return idle[0]
+        if len(self._conns) < self._pool_size:
+            async with self._open_lock:
+                if self._closed:
+                    raise ServeError("client is closed")
+                if len(self._conns) < self._pool_size:
+                    conn = await _Connection.open(
+                        self._host,
+                        self._port,
+                        timeout=self._timeout,
+                        connect_window=self._connect_window,
+                        max_protocol=self._max_protocol,
+                    )
+                    self._conns.append(conn)
+                    return conn
+        conns = [c for c in self._conns if not c.closed]
+        if not conns:
+            raise ServeError("no live connections")
+        return min(conns, key=lambda c: c.inflight)
+
+    async def _call(self, message: dict) -> dict:
+        conn = await self._acquire()
+        return check_response(await conn.call(message, self._timeout))
+
+    async def call(self, message: dict, *, check: bool = True) -> dict:
+        """Send a raw protocol message and return the response dict.
+
+        With ``check=False`` an ``ok: false`` response is returned instead
+        of raised — forwarding layers (the cluster router) relay server
+        error frames verbatim while still seeing transport failures as
+        :class:`ServeError`.
+        """
+        conn = await self._acquire()
+        response = await conn.call(message, self._timeout)
+        return check_response(response) if check else response
+
+    async def call_raw(self, message: dict) -> tuple[dict, bytes]:
+        """Relay variant of :meth:`call`: ``(fields, body)`` of the
+        response — its control fields (arrays left as descriptors) and
+        the raw frame body exactly as received.  Server error frames are
+        returned, not raised (``fields`` carries ``ok``/``message``);
+        transport failures raise :class:`ServeError`.  The cluster router
+        uses this to restamp and splice responses through without ever
+        materialising their arrays.
+        """
+        conn = await self._acquire()
+        return await conn.call(message, self._timeout, raw=True)
+
+    @property
+    def protocol(self) -> int | None:
+        """Negotiated protocol generation (``None`` before any call)."""
+        for conn in self._conns:
+            if not conn.closed:
+                return conn.protocol
+        return None
+
+    # ------------------------------------------------------------------
+    # operations (mirror ServeClient)
+    # ------------------------------------------------------------------
+    async def hello(self) -> dict:
+        return await self._call({"op": "hello"})
+
+    async def upload(self, graph: CSRGraph) -> str:
+        return (await self.upload_graph(graph))["digest"]
+
+    async def upload_graph(self, graph: CSRGraph) -> dict:
+        if not isinstance(graph, CSRGraph):
+            raise ParameterError(
+                f"expected a CSRGraph, got {type(graph).__name__}"
+            )
+        conn = await self._acquire()
+        message = graph_upload_message(graph, conn.protocol)
+        return check_response(await conn.call(message, self._timeout))
+
+    async def upload_text(self, payload: str, format: str = "auto") -> dict:
+        return await self._call(
+            {"op": "upload", "format": format, "payload": payload}
+        )
+
+    async def discard(self, digest: str) -> dict:
+        return await self._call({"op": "discard", "digest": digest})
+
+    async def decompose(
+        self,
+        digest: str,
+        beta: float,
+        *,
+        method: str = "auto",
+        seed: int = 0,
+        validate: bool = False,
+        **options: object,
+    ) -> ServeResult:
+        response = await self._call(
+            {
+                "op": "decompose",
+                "digest": digest,
+                "beta": beta,
+                "method": method,
+                "seed": seed,
+                "validate": validate,
+                "options": dict(options),
+            }
+        )
+        return result_from_response(response)
+
+    async def spanner(
+        self,
+        digest: str,
+        beta: float,
+        *,
+        method: str = "auto",
+        seed: int = 0,
+        **options: object,
+    ) -> ServeSpannerResult:
+        response = await self._call(
+            {
+                "op": "spanner",
+                "digest": digest,
+                "beta": beta,
+                "method": method,
+                "seed": seed,
+                "options": dict(options),
+            }
+        )
+        return spanner_from_response(response)
+
+    async def lowstretch_tree(
+        self,
+        digest: str,
+        *,
+        beta: float = 0.5,
+        method: str = "auto",
+        seed: int = 0,
+        max_levels: int = 64,
+        **options: object,
+    ) -> ServeTreeResult:
+        response = await self._call(
+            {
+                "op": "lowstretch_tree",
+                "digest": digest,
+                "beta": beta,
+                "method": method,
+                "seed": seed,
+                "max_levels": max_levels,
+                "options": dict(options),
+            }
+        )
+        return tree_from_response(response)
+
+    async def hierarchy(
+        self,
+        digest: str,
+        *,
+        seed: int = 0,
+        method: str = "auto",
+        beta_max: float = 0.9,
+        radius_constant: float = 1.0,
+        **options: object,
+    ) -> ServeHierarchyResult:
+        response = await self._call(
+            {
+                "op": "hierarchy",
+                "digest": digest,
+                "seed": seed,
+                "method": method,
+                "beta_max": beta_max,
+                "radius_constant": radius_constant,
+                "options": dict(options),
+            }
+        )
+        return hierarchy_from_response(response)
+
+    async def stats(self) -> dict:
+        return await self._call({"op": "stats"})
+
+    async def shutdown(self) -> dict:
+        return await self._call({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        self._closed = True
+        conns, self._conns = self._conns, []
+        for conn in conns:
+            await conn.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            f"{len(self._conns)} connection(s)"
+        )
+        return f"AsyncServeClient({state})"

@@ -38,6 +38,7 @@ CI-spawned servers.
 from __future__ import annotations
 
 import asyncio
+import errno
 import math
 import threading
 import time
@@ -57,15 +58,82 @@ from repro.runtime.pool import DecompositionPool
 from repro.serve.cache import DEFAULT_MAX_BYTES, ResultCache
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
+    as_array,
     canonical_cache_key,
-    decode_frame_body,
-    encode_array,
+    decode_frame_payload,
     encode_frame,
+    frame_protocol,
     parse_frame_length,
 )
 from repro.serve.store import GraphStore, graph_digest
 
-__all__ = ["DecompositionServer", "serve_background"]
+__all__ = ["DecompositionServer", "serve_background", "upload_builder"]
+
+#: classes a binary upload may name — the transport contract of
+#: ``csr_arrays()``/``from_arrays()``; anything else is rejected.
+_UPLOAD_CLASSES: dict[str, tuple[str, ...]] = {
+    "CSRGraph": ("indptr", "indices"),
+    "WeightedCSRGraph": ("indptr", "indices", "weights"),
+}
+
+
+def upload_builder(message: dict):
+    """Validate an upload request; return a ``() -> (graph, digest)``.
+
+    The returned callable does the CPU-heavy work (parse or construct plus
+    SHA-256) and is meant to run on an executor thread.  Two request
+    shapes: text (``payload`` + ``format``) and binary (``arrays`` +
+    ``class``, the ``csr_arrays()`` contract straight off the wire — v2
+    clients send raw compact-dtype buffers; the graph constructor restores
+    canonical dtypes and validates structure, so the resulting digest
+    equals a text upload of the same graph).  Shared by the server and the
+    cluster router, which must hash before it can route.
+    """
+    if "arrays" in message:
+        cls_name = message.get("class", "CSRGraph")
+        expected = _UPLOAD_CLASSES.get(cls_name)
+        if expected is None:
+            raise ParameterError(
+                f"binary upload 'class' must be one of "
+                f"{sorted(_UPLOAD_CLASSES)}, got {cls_name!r}"
+            )
+        arrays = message["arrays"]
+        if not isinstance(arrays, dict) or sorted(arrays) != sorted(expected):
+            got = (
+                sorted(arrays) if isinstance(arrays, dict)
+                else type(arrays).__name__
+            )
+            raise ParameterError(
+                f"binary upload of a {cls_name} needs arrays "
+                f"{sorted(expected)}, got {got}"
+            )
+        arrays = {name: as_array(obj) for name, obj in arrays.items()}
+
+        def _build_and_hash():
+            if cls_name == "WeightedCSRGraph":
+                from repro.graphs.weighted import WeightedCSRGraph as cls
+            else:
+                cls = CSRGraph
+            graph = cls.from_arrays(arrays, validate=True)
+            return graph, graph_digest(graph)
+
+        return _build_and_hash
+
+    payload = message.get("payload")
+    if not isinstance(payload, str):
+        raise ParameterError(
+            "upload needs a string 'payload' holding the serialised "
+            "graph (or binary 'arrays' + 'class')"
+        )
+    fmt = message.get("format", "auto")
+    if not isinstance(fmt, str):
+        raise ParameterError("upload 'format' must be a string")
+
+    def _parse_and_hash():
+        graph = parse_graph(payload, fmt, source=f"<upload:{fmt}>")
+        return graph, graph_digest(graph)
+
+    return _parse_and_hash
 
 #: Application-op recursion graphs at or below this edge count run inline
 #: on the executor thread instead of crossing into the worker pool — a
@@ -207,9 +275,18 @@ class DecompositionServer:
             self.preloaded = tuple(
                 self._store.put(graph)[0] for graph in self._preload
             )
-            self._server = await asyncio.start_server(
-                self._handle_connection, self._host, self._port
-            )
+            try:
+                self._server = await asyncio.start_server(
+                    self._handle_connection, self._host, self._port
+                )
+            except OSError as exc:
+                if exc.errno == errno.EADDRINUSE:
+                    raise ServeError(
+                        f"cannot listen on {self._host}:{self._port}: "
+                        f"address already in use (is another server "
+                        f"running there?)"
+                    ) from None
+                raise
         except BaseException:
             self._pool.shutdown()
             self._pool = None
@@ -293,6 +370,42 @@ class DecompositionServer:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
         self._connections += 1
+        write_lock = asyncio.Lock()
+        request_tasks: set[asyncio.Task] = set()
+
+        async def _respond(message: dict, protocol: int) -> None:
+            """Dispatch one request and write its response frame.
+
+            Runs as its own task so a connection can have many requests in
+            flight (pipelining) — responses come back as they complete,
+            matched by the echoed ``id``.  Clients that do not pipeline
+            never have more than one outstanding request, so they observe
+            strict request/response order regardless.
+            """
+            response = await self._dispatch(message)
+            if "id" in message:
+                response["id"] = message["id"]
+            try:
+                frame = encode_frame(response, protocol)
+            except ServeError as exc:  # oversized response
+                frame = encode_frame(
+                    {
+                        "ok": False,
+                        "error": "ServeError",
+                        "message": str(exc),
+                        **(
+                            {"id": message["id"]} if "id" in message else {}
+                        ),
+                    },
+                    protocol,
+                )
+            try:
+                async with write_lock:
+                    writer.write(frame)
+                    await writer.drain()
+            except ConnectionError:
+                pass  # client hung up before reading its response
+
         try:
             while True:
                 try:
@@ -300,26 +413,33 @@ class DecompositionServer:
                     length = parse_frame_length(header)
                     body = await reader.readexactly(length)
                     self._touch()
-                    message = decode_frame_body(body)
+                    protocol = frame_protocol(body)
+                    message = decode_frame_payload(body)
                 except asyncio.IncompleteReadError:
                     return  # client hung up at (or inside) a frame boundary
                 except ServeError as exc:
                     # Oversized announcement or unparsable body: answer
                     # with an error frame, then drop the stream — after a
                     # framing violation it cannot be trusted.
-                    writer.write(encode_frame({
-                        "ok": False,
-                        "error": "ServeError",
-                        "message": str(exc),
-                    }))
-                    await writer.drain()
+                    async with write_lock:
+                        writer.write(encode_frame({
+                            "ok": False,
+                            "error": "ServeError",
+                            "message": str(exc),
+                        }))
+                        await writer.drain()
                     return
-                response = await self._dispatch(message)
-                writer.write(encode_frame(response))
-                await writer.drain()
+                request = self._loop.create_task(
+                    _respond(message, protocol)
+                )
+                for registry in (request_tasks, self._conn_tasks):
+                    registry.add(request)
+                    request.add_done_callback(registry.discard)
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            for request in list(request_tasks):
+                request.cancel()
             self._conn_tasks.discard(task)
             writer.close()
             try:
@@ -361,6 +481,7 @@ class DecompositionServer:
             "server": "repro.serve",
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
+            "protocols": list(range(1, PROTOCOL_VERSION + 1)),
             "ops": sorted(self._OPS),
             "methods": describe_methods(),
             "default_methods": dict(DEFAULT_METHODS),
@@ -369,27 +490,15 @@ class DecompositionServer:
         }
 
     async def _op_upload(self, message: dict) -> dict:
-        payload = message.get("payload")
-        if not isinstance(payload, str):
-            raise ParameterError(
-                "upload needs a string 'payload' holding the serialised "
-                "graph"
-            )
-        fmt = message.get("format", "auto")
-        if not isinstance(fmt, str):
-            raise ParameterError("upload 'format' must be a string")
+        # Parsing/building and hashing are the CPU-heavy parts of an
+        # upload; run them off-loop so a multi-megabyte graph does not
+        # stall concurrent decompositions.  Only the registry mutation
+        # (and its copy into shared memory) stays on the loop.
+        build = upload_builder(message)
+        graph, digest = await self._loop.run_in_executor(None, build)
+        return self._admit(graph, digest)
 
-        # Parsing and hashing are the CPU-heavy parts of an upload; run
-        # them off-loop so a multi-megabyte graph does not stall
-        # concurrent decompositions.  Only the registry mutation (and its
-        # copy into shared memory) stays on the loop.
-        def _parse_and_hash():
-            graph = parse_graph(payload, fmt, source=f"<upload:{fmt}>")
-            return graph, graph_digest(graph)
-
-        graph, digest = await self._loop.run_in_executor(
-            None, _parse_and_hash
-        )
+    def _admit(self, graph: CSRGraph, digest: str) -> dict:
         digest, known = self._store.put(graph, digest=digest)
         from repro.graphs.weighted import WeightedCSRGraph
 
@@ -548,8 +657,8 @@ class DecompositionServer:
             "cached": cached,
             "coalesced": coalesced,
             "summary": dict(slim.summary),
-            "center": encode_array(slim.center),
-            "per_vertex": encode_array(slim.per_vertex),
+            "center": slim.center,
+            "per_vertex": slim.per_vertex,
         }
 
     # ------------------------------------------------------------------
@@ -559,16 +668,18 @@ class DecompositionServer:
     def _app_payload_nbytes(payload: dict) -> int:
         """Cache accounting size of an app-op payload.
 
-        The cached value holds *encoded* arrays (base64 strings, 4/3 of
-        the raw bytes) plus metadata, so the charge is the encoded string
-        lengths — the dominant term — plus a flat overhead; charging raw
-        array nbytes would let app traffic overrun the shared byte budget.
+        Payloads are codec-neutral trees holding raw ``ndarray`` values
+        (``encode_frame`` serialises them per client protocol at write
+        time), so the charge is the array byte totals — the dominant
+        term — plus a flat overhead for the metadata.
         """
         total = 1024
         stack = [payload]
         while stack:
             node = stack.pop()
-            if isinstance(node, dict):
+            if isinstance(node, np.ndarray):
+                total += int(node.nbytes)
+            elif isinstance(node, dict):
                 if "data" in node and isinstance(node.get("data"), str):
                     total += len(node["data"])
                 else:
@@ -617,7 +728,7 @@ class DecompositionServer:
                 "num_tree_edges": int(res.num_tree_edges),
                 "num_bridge_edges": int(res.num_bridge_edges),
                 "num_edges": int(res.num_edges),
-                "edges": encode_array(edges),
+                "edges": edges,
                 "summary": {
                     "method": spec.name,
                     **res.decomposition.summary(),
@@ -660,7 +771,7 @@ class DecompositionServer:
             )
             payload = {
                 "op": "lowstretch_tree",
-                "parent": encode_array(res.forest.parent),
+                "parent": res.forest.parent,
                 "level_sizes": [list(pair) for pair in res.level_sizes],
                 "level_betas": list(res.level_betas),
                 "num_levels": int(res.num_levels),
@@ -701,7 +812,7 @@ class DecompositionServer:
             )
             payload = {
                 "op": "hierarchy",
-                "labels": [encode_array(level) for level in h.labels],
+                "labels": list(h.labels),
                 "scale": [float(s) for s in h.scale],
                 "num_levels": int(h.num_levels),
             }

@@ -34,8 +34,14 @@ from repro.serve import (
     serve_background,
 )
 from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    V2_MAGIC,
+    as_array,
+    compact_arrays,
     decode_frame_body,
+    decode_frame_payload,
     encode_frame,
+    frame_protocol,
     parse_frame_length,
 )
 from repro.serve.store import GraphStore
@@ -96,6 +102,95 @@ class TestProtocol:
     def test_malformed_array_payload(self):
         with pytest.raises(ServeError, match="malformed array"):
             decode_array({"dtype": "<i8", "shape": [2]})  # no data
+
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(17, dtype=np.int64),
+            np.linspace(0, 1, 9, dtype=np.float64),
+            np.zeros(0, dtype=np.int64),          # empty array
+            np.zeros((0, 2), dtype=np.int64),     # empty 2-D array
+            np.arange(40, dtype=np.int64)[::2],   # non-contiguous stride
+            np.arange(12, dtype=np.int32).reshape(3, 4).T,  # transposed
+        ],
+    )
+    def test_v2_frame_round_trip_bit_exact(self, arr):
+        message = {"op": "x", "nested": {"arr": arr}, "stack": [arr], "n": 7}
+        frame = encode_frame(message, 2)
+        body = frame[4:]
+        assert frame_protocol(body) == 2
+        assert body[:4] == V2_MAGIC
+        decoded = decode_frame_payload(body)
+        assert decoded["n"] == 7
+        for got in (decoded["nested"]["arr"], decoded["stack"][0]):
+            assert got.dtype == arr.dtype.newbyteorder("<")
+            assert got.shape == arr.shape
+            np.testing.assert_array_equal(got, arr)
+            assert got.tobytes() == np.ascontiguousarray(arr).tobytes()
+
+    def test_v2_arrays_are_zero_copy_views(self):
+        arr = np.arange(32, dtype=np.int64)
+        body = encode_frame({"a": arr}, 2)[4:]
+        view = decode_frame_payload(body)["a"]
+        # The view aliases the frame body (no copy), hence is read-only.
+        assert view.base is not None
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = 99
+
+    def test_v1_bodies_sniffed_and_arrays_left_encoded(self):
+        body = encode_frame({"a": np.arange(3, dtype=np.int64)}, 1)[4:]
+        assert frame_protocol(body) == 1
+        decoded = decode_frame_payload(body)
+        assert isinstance(decoded["a"], dict)  # base64 object, not ndarray
+        np.testing.assert_array_equal(
+            as_array(decoded["a"]), np.arange(3)
+        )
+
+    def test_encode_array_non_contiguous_input(self):
+        arr = np.arange(30, dtype=np.int64)[::3]
+        decoded = decode_array(encode_array(arr))
+        np.testing.assert_array_equal(decoded, arr)
+
+    def test_unknown_protocol_generation_rejected(self):
+        with pytest.raises(ServeError, match="unknown protocol"):
+            encode_frame({"op": "hello"}, 3)
+
+    def test_oversize_frame_fails_fast_both_codecs(self, monkeypatch):
+        import repro.serve.protocol as protocol
+
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 64)
+        big = {"op": "upload", "payload": "x" * 256}
+        for generation in (1, 2):
+            with pytest.raises(ServeError, match="exceeds the protocol"):
+                encode_frame(big, generation)
+        # The receive side enforces the same bound on the announcement.
+        with pytest.raises(ServeError, match="exceeding"):
+            parse_frame_length(struct.pack(">I", 65))
+
+    def test_malformed_v2_frames_rejected(self):
+        with pytest.raises(ServeError, match="truncated v2 frame"):
+            decode_frame_payload(V2_MAGIC + b"\x00")
+        with pytest.raises(ServeError, match="header length"):
+            decode_frame_payload(V2_MAGIC + struct.pack(">I", 999) + b"{}")
+        # A descriptor pointing outside the tail must not be dereferenced.
+        frame = encode_frame({"a": np.arange(4, dtype=np.int64)}, 2)
+        body = bytearray(frame[4:])
+        tampered = body.replace(b'"__nd__":[0,32]', b'"__nd__":[0,99]')
+        with pytest.raises(ServeError, match="malformed array"):
+            decode_frame_payload(bytes(tampered))
+
+    def test_compact_arrays_downcasts_transport_only(self):
+        arrays = {
+            "small": np.arange(100, dtype=np.int64),
+            "wide": np.array([0, 2**40], dtype=np.int64),
+            "weights": np.linspace(0.5, 2.0, 8, dtype=np.float64),
+        }
+        compact = compact_arrays(arrays)
+        assert compact["small"].dtype == np.int16
+        assert compact["wide"].dtype == np.int64  # does not fit narrower
+        assert compact["weights"].dtype == np.float64  # floats untouched
+        np.testing.assert_array_equal(compact["small"], arrays["small"])
 
     def test_cache_key_canonicalisation(self):
         a = canonical_cache_key("d", 0.2, "bfs", 3, {"x": 1, "y": 2})
@@ -423,7 +518,9 @@ class TestServerLifecycle:
             deadline = time.monotonic() + 20
             while time.monotonic() < deadline:
                 try:
-                    ServeClient(host, port, timeout=1.0).close()
+                    ServeClient(
+                        host, port, timeout=1.0, connect_window=0
+                    ).close()
                 except ServeError:
                     break
                 time.sleep(0.05)
@@ -436,7 +533,9 @@ class TestServerLifecycle:
             deadline = time.monotonic() + 20
             while time.monotonic() < deadline:
                 try:
-                    ServeClient(host, port, timeout=1.0).close()
+                    ServeClient(
+                        host, port, timeout=1.0, connect_window=0
+                    ).close()
                 except ServeError:
                     break
                 time.sleep(0.1)
@@ -469,7 +568,7 @@ class TestServerLifecycle:
         port = sock.getsockname()[1]
         sock.close()  # port is now (very likely) closed
         with pytest.raises(ServeError, match="cannot connect"):
-            ServeClient("127.0.0.1", port, timeout=2.0)
+            ServeClient("127.0.0.1", port, timeout=2.0, connect_window=0)
 
     def test_client_closes_on_transport_failure(self):
         """A mid-frame failure desynchronizes the stream (no request ids),
@@ -505,9 +604,68 @@ class TestServerLifecycle:
             deadline = time.monotonic() + 20
             while time.monotonic() < deadline:
                 try:
-                    ServeClient(host, port, timeout=1.0).close()
+                    ServeClient(
+                        host, port, timeout=1.0, connect_window=0
+                    ).close()
                 except ServeError:
                     break
                 time.sleep(0.1)
             else:
                 pytest.fail("drained server did not hit its TTL")
+
+
+class TestProtocolNegotiation:
+    """v1 <-> v2 interop: the hello handshake picks the generation, and a
+    v1-only client keeps working against a v2 server unchanged."""
+
+    def test_v1_client_round_trips_against_v2_server(self, running_server):
+        server, _, _ = running_server
+        graph = erdos_renyi(50, 0.12, seed=91)
+        with ServeClient(*server.address, max_protocol=1) as client:
+            hello = client.hello()
+            assert hello["protocol"] >= 2  # the server speaks v2...
+            assert client.protocol == 1  # ...but honours the v1 cap
+            digest = client.upload(graph)
+            assert digest == graph_digest(graph)
+            result = client.decompose(digest, 0.3, seed=4)
+            assert result.result_digest() == serial_digest(graph, 0.3, seed=4)
+
+    def test_default_client_negotiates_v2(self, running_server):
+        server, _, digest = running_server
+        with ServeClient(*server.address) as client:
+            hello = client.hello()
+            assert 1 in hello["protocols"] and 2 in hello["protocols"]
+            assert client.protocol == 2
+            result = client.decompose(digest, 0.31, seed=9)
+        with ServeClient(*server.address, max_protocol=1) as v1:
+            legacy = v1.decompose(digest, 0.31, seed=9)
+        # Same cached decomposition, regardless of wire generation.
+        assert result.result_digest() == legacy.result_digest()
+
+    def test_binary_and_text_uploads_share_digest(self, running_server):
+        server, _, _ = running_server
+        graph = erdos_renyi(40, 0.15, seed=92)
+        with ServeClient(*server.address, max_protocol=1) as v1:
+            first = v1.upload_graph(graph)
+        with ServeClient(*server.address) as v2:
+            second = v2.upload_graph(graph)
+        assert first["digest"] == second["digest"]
+        assert first["known"] is False and second["known"] is True
+
+    @pytest.mark.parametrize("max_protocol", [1, 2])
+    def test_degenerate_graph_uploads(self, running_server, max_protocol):
+        from repro.graphs.csr import CSRGraph
+
+        server, _, _ = running_server
+        empty = CSRGraph(
+            np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        )  # 0 nodes, 0 edges
+        lone = path_graph(1)  # 1 node, 0 edges
+        with ServeClient(
+            *server.address, max_protocol=max_protocol
+        ) as client:
+            for graph, vertices in ((empty, 0), (lone, 1)):
+                response = client.upload_graph(graph)
+                assert response["digest"] == graph_digest(graph)
+                assert response["num_vertices"] == vertices
+                assert response["num_edges"] == 0
