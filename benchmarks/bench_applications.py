@@ -18,7 +18,9 @@ structural assertions; statistical comparisons need the full-size graphs.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import time
 
 import numpy as np
 import pytest
@@ -36,9 +38,15 @@ from repro.lowstretch import akpw_spanning_tree, bfs_spanning_tree, stretch_repo
 from repro.pipeline import EngineProvider
 from repro.spanners import ldd_spanner, measure_spanner_stretch
 
-from common import Table
+from common import Table, emit_bench_json
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: The LP-HST ≥2× wall-clock floor is a parallel-hardware claim; below
+#: this core count only the measured value is reported (same contract as
+#: bench_cluster.py).
+MIN_CORES_FOR_FLOOR = 6
+LEVEL_PARALLEL_FLOOR = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -272,6 +280,101 @@ class TestEmbeddings:
                 lambda: hierarchical_decomposition(
                     graph, seed=0, provider=prov
                 )
+            )
+
+
+class TestLevelParallelCluster:
+    def test_level_parallel_hst_vs_sequential_over_cluster(self):
+        """Experiment LP-HST: level-parallel hierarchy construction over a
+        2-shard cluster vs sequential per-piece submission.
+
+        Both runs issue the *same* requests against identical fresh
+        topologies (shard caches and provider memos disabled, so every
+        piece is computed, not recalled) and must be digest-identical to
+        the serial engine.  The claim under test is wall-clock: batching
+        a level's pieces through the pipelined async client overlaps
+        round trips and fans the pieces across the shards' worker pools,
+        where sequential submission serialises RPC latency and compute.
+        The measured speedup is always emitted to
+        ``BENCH_applications.json``; the ≥{floor}× floor is asserted only
+        on ≥{cores}-core machines (a parallel-hardware claim, and CI
+        runners routinely have 2).
+        """
+        from repro.cluster import ClusterProvider, cluster_background
+
+        cores = os.cpu_count() or 1
+        graph = grid_2d(16, 16) if SMOKE else grid_2d(64, 64)
+        seed = 17
+        workers_per_shard = 3 if cores >= MIN_CORES_FOR_FLOOR else 2
+
+        def labels_digest(hierarchy) -> str:
+            sha = hashlib.sha256()
+            for level in hierarchy.labels:
+                sha.update(np.ascontiguousarray(level).tobytes())
+            return sha.hexdigest()
+
+        with EngineProvider() as engine:
+            expected = labels_digest(
+                hierarchical_decomposition(graph, seed=seed, provider=engine)
+            )
+
+        timings: dict[str, float] = {}
+        with cluster_background(
+            num_shards=2, max_workers=workers_per_shard, cache_bytes=0
+        ) as router:
+            for label, max_concurrent in (
+                ("sequential", 1),
+                ("level_parallel", None),
+            ):
+                with ClusterProvider(
+                    address=router.address, memo_bytes=0
+                ) as provider:
+                    start = time.perf_counter()
+                    hierarchy = hierarchical_decomposition(
+                        graph, seed=seed, provider=provider,
+                        max_concurrent=max_concurrent,
+                    )
+                    timings[label] = time.perf_counter() - start
+                assert labels_digest(hierarchy) == expected, (
+                    f"{label} cluster hierarchy drifted from the serial "
+                    f"engine"
+                )
+
+        speedup = timings["sequential"] / timings["level_parallel"]
+        table = Table(
+            "LP-HST: level-parallel vs sequential HST over a 2-shard "
+            "cluster (digest-checked against the engine)",
+            ["variant", "wall_s", "speedup_vs_sequential"],
+        )
+        table.add("sequential", f"{timings['sequential']:.3f}", "1.00")
+        table.add(
+            "level_parallel", f"{timings['level_parallel']:.3f}",
+            f"{speedup:.2f}",
+        )
+        table.show()
+        emit_bench_json(
+            "applications",
+            {
+                "level_parallel_hst": {
+                    "graph": f"grid {graph.num_vertices} vertices",
+                    "num_shards": 2,
+                    "workers_per_shard": workers_per_shard,
+                    "cores": cores,
+                    "smoke": SMOKE,
+                    "sequential_s": timings["sequential"],
+                    "level_parallel_s": timings["level_parallel"],
+                    "speedup": speedup,
+                    "floor": LEVEL_PARALLEL_FLOOR,
+                    "floor_asserted": (
+                        not SMOKE and cores >= MIN_CORES_FOR_FLOOR
+                    ),
+                }
+            },
+        )
+        if not SMOKE and cores >= MIN_CORES_FOR_FLOOR:
+            assert speedup >= LEVEL_PARALLEL_FLOOR, (
+                f"level-parallel HST speedup {speedup:.2f}x under the "
+                f"{LEVEL_PARALLEL_FLOOR}x floor on {cores} cores"
             )
 
 

@@ -1,0 +1,144 @@
+"""Compare freshly emitted ``BENCH_*.json`` files against the committed
+baseline trajectory in ``benchmarks/baselines/``.
+
+CI persists every run's ``BENCH_*.json`` as build artifacts *and* checks
+them against the in-repo baselines, so performance is a visible trajectory
+across PRs rather than a log line that scrolls away.  The comparison is
+**warn-only by default**: machine variance (CI runners are 2-core, smoke
+mode shrinks workloads) makes absolute numbers incomparable across hosts,
+so the value is the printed per-experiment deltas next to the structural
+diff (new/missing experiments), not a hard gate.  Pass
+``--fail-on-missing`` to turn a structural regression (a baseline metric
+that vanished) into a nonzero exit — that part is host-independent.
+
+Usage::
+
+    python benchmarks/compare_baselines.py            # current dir vs baselines/
+    python benchmarks/compare_baselines.py --current out/ --baseline benchmarks/baselines/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric-name suffixes whose direction is known: +1 = higher is better.
+_DIRECTIONS = (
+    ("_per_s", +1),
+    ("speedup", +1),
+    ("_s", -1),
+    ("_ms", -1),
+    ("_bytes", -1),
+)
+
+
+def _direction(metric: str) -> int:
+    for suffix, sign in _DIRECTIONS:
+        if metric.endswith(suffix):
+            return sign
+    return 0
+
+
+def _numeric_leaves(doc: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten a bench payload to ``experiment.path.metric -> value``."""
+    out: dict[str, float] = {}
+    for key, value in sorted(doc.items()):
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(_numeric_leaves(value, path))
+        elif isinstance(value, bool):
+            continue  # flags (floor_asserted, smoke) are not metrics
+        elif isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+def _load_dir(directory: Path) -> dict[str, dict]:
+    docs: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            docs[path.name] = json.loads(path.read_text())
+        except ValueError as exc:
+            print(f"WARN: {path} is not valid JSON ({exc}); skipped")
+    return docs
+
+
+def compare(baseline_dir: Path, current_dir: Path) -> tuple[int, int]:
+    """Print per-metric deltas; returns (compared, missing) counts."""
+    baselines = _load_dir(baseline_dir)
+    currents = _load_dir(current_dir)
+    compared = missing = 0
+    if not baselines:
+        print(f"no baselines under {baseline_dir} — nothing to compare")
+        return 0, 0
+    for name, base_doc in baselines.items():
+        cur_doc = currents.get(name)
+        print(f"\n== {name} ==")
+        if cur_doc is None:
+            print(f"  MISSING: no current {name} was emitted")
+            missing += len(_numeric_leaves(base_doc))
+            continue
+        base = _numeric_leaves(base_doc)
+        cur = _numeric_leaves(cur_doc)
+        width = max((len(k) for k in base | cur), default=10)
+        for metric in sorted(base | cur):
+            if metric not in cur:
+                print(f"  {metric:<{width}}  MISSING (baseline "
+                      f"{base[metric]:.4g})")
+                missing += 1
+                continue
+            if metric not in base:
+                print(f"  {metric:<{width}}  NEW      {cur[metric]:.4g}")
+                continue
+            compared += 1
+            was, now = base[metric], cur[metric]
+            delta = (now - was) / was * 100 if was else float("inf")
+            sign = _direction(metric.rsplit(".", 1)[-1])
+            if sign == 0 or abs(delta) < 1e-9:
+                verdict = ""
+            elif delta * sign > 0:
+                verdict = "(better)"
+            else:
+                verdict = "(worse)"
+            print(f"  {metric:<{width}}  {was:>12.4g} -> {now:>12.4g}  "
+                  f"{delta:+7.1f}% {verdict}")
+    extra = set(currents) - set(baselines)
+    for name in sorted(extra):
+        print(f"\n== {name} ==\n  NEW FILE: not in the baseline trajectory "
+              f"yet — commit it to benchmarks/baselines/ to track it")
+    print(f"\ncompared {compared} metric(s); {missing} missing vs baseline")
+    return compared, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent / "baselines",
+        help="directory holding the committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--fail-on-missing",
+        action="store_true",
+        help="exit nonzero if a baseline metric was not emitted at all "
+        "(value regressions never fail — numbers are host-dependent)",
+    )
+    args = parser.parse_args(argv)
+    _, missing = compare(args.baseline, args.current)
+    if args.fail_on_missing and missing:
+        print(f"FAIL: {missing} baseline metric(s) missing", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,9 @@ def cluster_background(
     """N shard servers + a router, all on daemon threads.
 
     Yields the started :class:`ClusterRouter` (``router.address`` is what
-    clients connect to; ``router.shard_labels`` names the members).
+    clients connect to; ``router.shard_labels`` names the members).  The
+    shard server handles are attached as ``router.shard_servers`` so
+    fault-injection tests can stop individual members.
     ``graphs`` are preloaded *through the router*, so each lands on — and
     only on — its owning shard.  Extra keyword arguments
     (``cache_bytes``, ``idle_ttl``, ``start_method``) go to every shard.
@@ -66,6 +68,7 @@ def cluster_background(
                 [shard.address for shard in shards], **router_kwargs
             )
         )
+        router.shard_servers = tuple(shards)
         for graph in graphs or ():
             with ServeClient(*router.address) as client:
                 client.upload_graph(graph)

@@ -11,6 +11,13 @@ provider's existing *unknown graph digest* self-heal re-uploads through
 the router (which forwards to the same owner — routing is deterministic)
 if a shard restarted or evicted the graph.
 
+Batches inherit the fan-out for free:
+:meth:`~repro.pipeline.providers.DecompositionProvider.decompose_batch`
+drives the pipelined :class:`~repro.serve.aio_client.AsyncServeClient`
+against the router, so a level's independent pieces are in flight
+simultaneously and land on their owning shards concurrently — level
+parallelism across machines with no cluster-specific code here.
+
 The subclass exists so applications and stats can tell the transports
 apart (``backend="cluster"``), and as the registration point for the
 ``"cluster:HOST:PORT"`` provider spec in

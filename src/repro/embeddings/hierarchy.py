@@ -21,7 +21,7 @@ import numpy as np
 from repro.errors import GraphError, ParameterError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 from repro.graphs.ops import connected_components, induced_subgraph
-from repro.pipeline import resolve_provider
+from repro.pipeline import DecomposeRequest, resolve_provider
 from repro.rng.seeding import SeedLike, derive_seed, ensure_int_seed
 
 __all__ = ["Hierarchy", "hierarchical_decomposition"]
@@ -89,6 +89,7 @@ def hierarchical_decomposition(
     radius_constant: float = 1.0,
     method: str = "auto",
     provider=None,
+    max_concurrent: int | None = None,
     **options: object,
 ) -> Hierarchy:
     """Build a laminar hierarchy by top-down shifted decomposition.
@@ -98,11 +99,19 @@ def hierarchical_decomposition(
     Level 0 is forced to singletons so the HST's leaves are vertices.
 
     Per-piece decompositions run through the pipeline layer (``provider``,
-    ``method``, ``**options`` — see :mod:`repro.pipeline`).  Each piece's
-    sub-seed is derived from the root seed and the piece's *content digest*
-    — so a piece that survives unchanged from one level to the next (β
-    capped at ``beta_max`` at fine scales) issues the exact request it
-    issued before and the provider's memo answers it without recomputing.
+    ``method``, ``**options`` — see :mod:`repro.pipeline`).  A level's
+    pieces are independent, so each level is submitted as one
+    :meth:`~repro.pipeline.DecompositionProvider.decompose_batch`
+    (``max_concurrent`` bounds the in-flight window; ``None`` = the
+    backend's own bound) — concurrent backends overlap the pieces, and
+    outputs stay bit-identical to the serial loop because label
+    allocation happens afterwards in piece order.  Each piece's sub-seed
+    is derived from the root seed and the piece's *content digest* — so
+    a piece that survives unchanged from one level to the next (β capped
+    at ``beta_max`` at fine scales) issues the exact request it issued
+    before and the provider's memo answers it without recomputing, and
+    single-vertex pieces never reach the backend at all (their trivial
+    one-cluster assignment is applied locally).
     """
     if not 0 < beta_max < 1:
         raise ParameterError("beta_max must be in (0, 1)")
@@ -128,7 +137,8 @@ def hierarchical_decomposition(
             beta_max, radius_constant * np.log(max(n, 2)) / target_radius
         )
         refined = _refine(
-            graph, current, beta, root_seed, provider, method, options
+            graph, current, beta, root_seed, provider, method, options,
+            max_concurrent=max_concurrent,
         )
         levels.append(refined)
         scales.append(target_radius)
@@ -150,30 +160,56 @@ def _refine(
     provider,
     method: str,
     options: dict,
+    *,
+    max_concurrent: int | None = None,
 ) -> np.ndarray:
     """Decompose each coarse piece independently; return dense fine labels.
 
     Each piece's seed is ``derive_seed(root, "hierarchy", piece digest)`` —
     a pure function of the root seed and the piece's content, independent
     of the level it appears at, which is what makes repeated pieces cache
-    hits in the provider's memo.
+    hits in the provider's memo.  The level's non-trivial pieces go to the
+    backend as one batch (concurrent backends overlap them); trivial
+    pieces — a single vertex is already its own cluster — are assigned
+    locally, costing no RPC.  Label allocation runs afterwards in piece
+    order, so the fine labels are bit-identical to the serial per-piece
+    loop regardless of how the batch was scheduled.
     """
     n = graph.num_vertices
     fine = np.full(n, -1, dtype=np.int64)
-    next_label = 0
+    requests: list[DecomposeRequest] = []
+    batched: list[tuple[np.ndarray, int]] = []  # (members, request index)
+    pieces: list[np.ndarray | None] = []  # members when trivial, else None
     for piece in range(int(coarse.max()) + 1):
         members = np.flatnonzero(coarse == piece).astype(VERTEX_DTYPE)
-        if members.size == 1:
-            fine[members] = next_label
-            next_label += 1
+        if members.size <= 1:
+            pieces.append(members)
             continue
         sub = induced_subgraph(graph, members)
         piece_seed = derive_seed(
             root_seed, "hierarchy", provider.graph_key(sub.graph)
         )
-        decomposition = provider.decompose(
-            sub.graph, beta, method=method, seed=piece_seed, **options
-        ).decomposition
+        batched.append((members, len(requests)))
+        pieces.append(None)
+        requests.append(
+            DecomposeRequest(
+                sub.graph, beta, method=method, seed=piece_seed,
+                options=options,
+            )
+        )
+    results = provider.decompose_batch(
+        requests, max_concurrent=max_concurrent
+    )
+    batch_iter = iter(batched)
+    next_label = 0
+    for members in pieces:
+        if members is not None:  # trivial piece: its own one-vertex cluster
+            if members.size:
+                fine[members] = next_label
+                next_label += 1
+            continue
+        members, slot = next(batch_iter)
+        decomposition = results[slot].decomposition
         fine[members] = decomposition.labels + next_label
         next_label += decomposition.num_pieces
     if np.any(fine < 0):

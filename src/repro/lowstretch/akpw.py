@@ -23,10 +23,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bfs.sequential import multi_source_bfs
+from repro.core.decomposition import Decomposition
 from repro.errors import GraphError, ParameterError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
-from repro.graphs.ops import quotient_graph
-from repro.pipeline import resolve_provider
+from repro.graphs.ops import (
+    connected_components,
+    induced_subgraph,
+    quotient_graph,
+)
+from repro.pipeline import DecomposeRequest, resolve_provider
 from repro.rng.seeding import (
     SeedLike,
     derive_seed,
@@ -61,6 +66,7 @@ def akpw_spanning_tree(
     max_levels: int = 64,
     method: str = "auto",
     provider=None,
+    max_concurrent: int | None = None,
     **options: object,
 ) -> AKPWResult:
     """Build a spanning forest of ``graph`` by iterated LDD + contraction.
@@ -70,11 +76,16 @@ def akpw_spanning_tree(
     Works on disconnected graphs (yields one tree per component).
 
     Per-level decompositions run through the pipeline layer (``provider``,
-    ``method``, ``**options`` — see :mod:`repro.pipeline`): each level gets
-    a deterministic integer sub-seed derived from the root seed, so the
-    whole recursion is reproducible and bit-identical on every backend,
-    and level results land in the provider's memo for reuse by later
-    builds with the same configuration.
+    ``method``, ``**options`` — see :mod:`repro.pipeline`).  A level's
+    connected components are independent, so they are submitted together
+    through :meth:`~repro.pipeline.DecompositionProvider.decompose_batch`
+    (``max_concurrent`` bounds the in-flight window; ``None`` = the
+    backend's own bound).  Each piece's sub-seed is derived from the root
+    seed and the piece's *content digest*, so results are independent of
+    submission order and concurrency — bit-identical on every backend at
+    any ``max_concurrent`` — and identical pieces dedup into one
+    execution.  Single-vertex components never leave the process: they
+    are assigned their trivial one-cluster decomposition locally.
     """
     if not 0 < beta < 1:
         raise ParameterError(f"beta must be in (0, 1), got {beta}")
@@ -98,13 +109,15 @@ def akpw_spanning_tree(
             break
         level_sizes.append((cur.num_vertices, cur.num_edges))
         level_betas.append(level_beta)
-        decomposition = provider.decompose(
+        decomposition = _decompose_level(
             cur,
             level_beta,
+            provider=provider,
             method=method,
-            seed=derive_seed(root_seed, "akpw", level),
-            **options,
-        ).decomposition
+            root_seed=root_seed,
+            options=options,
+            max_concurrent=max_concurrent,
+        )
         piece_forest = bfs_forest_from_decomposition(decomposition)
         child = np.flatnonzero(piece_forest.parent != -1)
         if child.size:
@@ -137,6 +150,75 @@ def akpw_spanning_tree(
     return AKPWResult(
         forest=forest, level_sizes=level_sizes, level_betas=level_betas
     )
+
+
+def _decompose_level(
+    cur: CSRGraph,
+    beta: float,
+    *,
+    provider,
+    method: str,
+    root_seed: int,
+    options: dict,
+    max_concurrent: int | None,
+) -> Decomposition:
+    """Decompose one AKPW level, batching its independent components.
+
+    The level's connected components are decomposed independently (one
+    :class:`DecomposeRequest` per non-trivial component, seeded by the
+    component's content digest) and stitched back into one global
+    :class:`Decomposition` on ``cur``.  Decomposing a component of its
+    containing graph is exact — no shift sequence ever crosses a component
+    boundary — so the stitched result equals a whole-graph decomposition
+    with per-component seeding, on any backend, in any completion order.
+    """
+    labels = connected_components(cur)
+    num_components = int(labels.max()) + 1 if labels.size else 0
+    if num_components <= 1:
+        request = DecomposeRequest(
+            cur,
+            beta,
+            method=method,
+            seed=derive_seed(root_seed, "akpw", provider.graph_key(cur)),
+            options=options,
+        )
+        outcome = provider.decompose_batch(
+            [request], max_concurrent=max_concurrent
+        )
+        return outcome[0].decomposition
+    # Trivial default: every vertex its own piece — correct as-is for
+    # single-vertex components, overwritten for the decomposed ones.
+    center = np.arange(cur.num_vertices, dtype=np.int64)
+    hops = np.zeros(cur.num_vertices, dtype=np.int64)
+    requests: list[DecomposeRequest] = []
+    piece_members: list[np.ndarray] = []
+    order = np.argsort(labels, kind="stable")
+    bounds = np.searchsorted(labels[order], np.arange(num_components + 1))
+    for component in range(num_components):
+        members = order[bounds[component]:bounds[component + 1]]
+        if members.size <= 1:
+            continue
+        sub = induced_subgraph(cur, members)
+        requests.append(
+            DecomposeRequest(
+                sub.graph,
+                beta,
+                method=method,
+                seed=derive_seed(
+                    root_seed, "akpw", provider.graph_key(sub.graph)
+                ),
+                options=options,
+            )
+        )
+        piece_members.append(members)
+    results = provider.decompose_batch(
+        requests, max_concurrent=max_concurrent
+    )
+    for members, result in zip(piece_members, results):
+        sub_dec = result.decomposition
+        center[members] = members[sub_dec.center]
+        hops[members] = sub_dec.hops
+    return Decomposition(graph=cur, center=center, hops=hops)
 
 
 def _map_to_original(

@@ -19,6 +19,7 @@ See DESIGN.md §8 for the architecture.
 """
 
 from repro.pipeline.providers import (
+    DecomposeRequest,
     DecompositionProvider,
     EngineProvider,
     PoolProvider,
@@ -29,6 +30,7 @@ from repro.pipeline.providers import (
 )
 
 __all__ = [
+    "DecomposeRequest",
     "DecompositionProvider",
     "EngineProvider",
     "PoolProvider",

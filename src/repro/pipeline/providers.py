@@ -30,6 +30,21 @@ Providers require **integer seeds** — the explicit seed is what makes a
 request executable on any backend and memoizable; applications normalise
 their ``SeedLike`` inputs with :func:`repro.rng.seeding.ensure_int_seed`
 and derive per-level sub-seeds with :func:`~repro.rng.seeding.derive_seed`.
+
+Multi-level applications whose pieces within a level are independent
+(AKPW's per-component decompositions, the hierarchy's per-piece
+refinements) submit a whole level at once through
+:meth:`DecompositionProvider.decompose_batch`: a list of
+:class:`DecomposeRequest` values, answered in request order.  The base
+implementation is serial; :class:`PoolProvider` fans a batch into the
+shared-memory pool from a worker-bounded scheduler, and
+:class:`ServeProvider`/``ClusterProvider`` drive the pipelined
+:class:`~repro.serve.aio_client.AsyncServeClient` so independent pieces
+are in flight simultaneously (across shards, behind a router).  Because
+every request carries its own explicit seed, *batching never changes
+results* — outputs are bit-identical to the serial loop at any
+``max_concurrent``, and requests with equal canonical keys are deduped
+into one backend execution.
 """
 
 from __future__ import annotations
@@ -38,6 +53,8 @@ import itertools
 import threading
 import weakref
 from collections import OrderedDict
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
 
 from repro.core.engine import PartitionResult, _resolve, decompose
 from repro.errors import ParameterError
@@ -47,6 +64,7 @@ from repro.serve.protocol import canonical_cache_key
 from repro.serve.store import graph_digest
 
 __all__ = [
+    "DecomposeRequest",
     "DecompositionProvider",
     "EngineProvider",
     "PoolProvider",
@@ -66,6 +84,37 @@ DEFAULT_MEMO_BYTES = 64 * 1024 * 1024
 #: this is purely a transport choice.  0 = never inline, keeping backend
 #: semantics pure by default; the serve layer's app provider raises it.
 DEFAULT_INLINE_CUTOFF = 0
+
+
+@dataclass(frozen=True)
+class DecomposeRequest:
+    """One decomposition request for :meth:`decompose_batch`.
+
+    The fields mirror :meth:`DecompositionProvider.decompose`'s signature;
+    ``seed`` must already be a plain integer (normalise ``SeedLike`` values
+    with :func:`repro.rng.seeding.ensure_int_seed`).
+    """
+
+    graph: CSRGraph
+    beta: float
+    method: str = "auto"
+    seed: int = 0
+    validate: bool = False
+    options: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _Prepared:
+    """A validated batch request plus its routing identity."""
+
+    index: int
+    request: DecomposeRequest
+    #: resolved (non-``"auto"``) method name.
+    method: str
+    #: content digest of the request's graph.
+    digest: str
+    #: canonical memo key — equal keys are one backend execution.
+    key: object
 
 
 class DecompositionProvider:
@@ -182,6 +231,132 @@ class DecompositionProvider:
         options: dict,
     ) -> PartitionResult:
         raise NotImplementedError
+
+    def decompose_batch(
+        self,
+        requests: Iterable[DecomposeRequest] | Sequence[DecomposeRequest],
+        *,
+        max_concurrent: int | None = None,
+    ) -> list[PartitionResult]:
+        """Compute (or recall) many independent decompositions at once.
+
+        Results come back in request order and are bit-identical to issuing
+        the same requests one at a time through :meth:`decompose` — batching
+        is a transport optimisation, never a semantic one.  Requests whose
+        canonical keys are equal (same graph bytes, β, method, seed,
+        options) are deduped into a single backend execution; memo hits are
+        answered without touching the backend at all.
+
+        ``max_concurrent`` bounds how many requests a concurrent backend
+        keeps in flight (``None`` = the backend's own bound: the pool's
+        worker count, the serve client's pipeline).  ``max_concurrent=1``
+        forces the serial reference path on every backend.
+
+        Failure is all-or-nothing and loud: if any dispatched request fails
+        (timeout, dead shard, worker error), sibling in-flight requests are
+        drained, every resource pin is released, and the batch raises —
+        the provider stays usable and its memo holds only results that
+        completed successfully.
+        """
+        requests = list(requests)
+        if self._closed:
+            raise ParameterError(f"{type(self).__name__} is closed")
+        if max_concurrent is not None and (
+            isinstance(max_concurrent, bool)
+            or not isinstance(max_concurrent, int)
+            or max_concurrent < 1
+        ):
+            raise ParameterError(
+                f"max_concurrent must be a positive integer or None, got "
+                f"{max_concurrent!r}"
+            )
+        prepared: list[_Prepared] = []
+        for index, request in enumerate(requests):
+            if not isinstance(request, DecomposeRequest):
+                raise ParameterError(
+                    f"decompose_batch takes DecomposeRequest values, got "
+                    f"{type(request).__name__} at index {index}"
+                )
+            if isinstance(request.seed, bool) or not isinstance(
+                request.seed, int
+            ):
+                raise ParameterError(
+                    f"providers require an explicit integer seed, got "
+                    f"{type(request.seed).__name__} at index {index} "
+                    f"(normalise with ensure_int_seed)"
+                )
+            spec = _resolve(request.graph, request.method)
+            bound = spec.bind(dict(request.options))
+            digest = self.graph_key(request.graph)
+            key = canonical_cache_key(
+                digest, float(request.beta), spec.name, request.seed, bound,
+                validate=request.validate, op="pipeline",
+            )
+            prepared.append(_Prepared(index, request, spec.name, digest, key))
+        self._requests += len(prepared)
+
+        results: list[PartitionResult | None] = [None] * len(prepared)
+        #: canonical key -> every prepared request sharing it (dedup).
+        misses: OrderedDict[object, list[_Prepared]] = OrderedDict()
+        for item in prepared:
+            slim = self._memo.get(item.key)
+            if slim is not None:
+                self._memo_hits += 1
+                results[item.index] = _rehydrate(item.request.graph, slim)
+            elif item.key in misses:
+                misses[item.key].append(item)
+            else:
+                misses[item.key] = [item]
+
+        # Tiny graphs run inline on the engine, exactly as in decompose().
+        dispatch: list[_Prepared] = []
+        inline_done: list[tuple[_Prepared, PartitionResult]] = []
+        for group in misses.values():
+            item = group[0]
+            if item.request.graph.num_edges <= self._inline_cutoff and not (
+                isinstance(self, EngineProvider)
+            ):
+                self._inline_runs += 1
+                inline_done.append((item, decompose(
+                    item.request.graph, item.request.beta, method=item.method,
+                    seed=item.request.seed, validate=item.request.validate,
+                    **dict(item.request.options),
+                )))
+            else:
+                dispatch.append(item)
+
+        if dispatch:
+            if max_concurrent == 1:
+                # The serial reference path, whatever the backend.
+                outcomes = DecompositionProvider._decompose_batch_impl(
+                    self, dispatch, max_concurrent
+                )
+            else:
+                outcomes = self._decompose_batch_impl(dispatch, max_concurrent)
+        else:
+            outcomes = []
+
+        for item, result in list(zip(dispatch, outcomes)) + inline_done:
+            slim = _slim(result)
+            self._memo.put(item.key, slim, _slim_nbytes(slim))
+            for member in misses[item.key]:
+                results[member.index] = _rehydrate(member.request.graph, slim)
+        return results  # type: ignore[return-value]
+
+    def _decompose_batch_impl(
+        self,
+        prepared: "list[_Prepared]",
+        max_concurrent: int | None,
+    ) -> list[PartitionResult]:
+        """Serial reference dispatch; concurrent backends override this."""
+        return [
+            self._decompose_impl(
+                item.request.graph, item.digest, item.request.beta,
+                item.method, item.request.seed, item.request.validate,
+                dict(item.request.options),
+            )
+            for item in prepared
+        ]
 
     # ------------------------------------------------------------------
     # identity and introspection
@@ -317,50 +492,142 @@ class PoolProvider(DecompositionProvider):
         """The underlying :class:`DecompositionPool`."""
         return self._pool
 
+    def _pin_graph(self, graph: CSRGraph, digest: str) -> tuple[str, str]:
+        """Register ``graph`` (if needed) and pin it against eviction.
+
+        Returns ``(own_key, pool_key)``; every call must be paired with
+        :meth:`_unpin_graph(own_key) <_unpin_graph>`.
+        """
+        own_key = f"{self._namespace}:{digest}"
+        pool_key = own_key
+        with self._resident_lock:
+            # Mark the request in flight *before* any eviction can run
+            # — including the one below, which must not evict the key
+            # it just registered.  The pin is what makes submitting
+            # outside the lock safe: eviction skips pinned keys.
+            self._inflight[own_key] = self._inflight.get(own_key, 0) + 1
+            if own_key in self._resident:
+                self._resident.move_to_end(own_key)
+            elif digest in self._pool.graph_keys:
+                # Already resident under its raw digest (registered by
+                # another owner, e.g. the serve layer's store): use it
+                # in place, never evict it.
+                pool_key = digest
+            else:
+                self._pool.register_graph(own_key, graph)
+                self._resident[own_key] = None
+                self._evict_over_budget_locked()
+        return own_key, pool_key
+
+    def _unpin_graph(self, own_key: str) -> None:
+        with self._resident_lock:
+            remaining = self._inflight.get(own_key, 1) - 1
+            if remaining:
+                self._inflight[own_key] = remaining
+            else:
+                self._inflight.pop(own_key, None)
+            # A batch window wider than the residency budget pins more
+            # graphs than registration-time eviction may remove; shrink
+            # back as pins release so the bound holds at rest.
+            self._evict_over_budget_locked()
+
+    def _evict_over_budget_locked(self) -> None:
+        """Evict unpinned LRU registrations past the residency budget."""
+        for candidate in list(self._resident):
+            if len(self._resident) <= self._max_resident:
+                break
+            if self._inflight.get(candidate):
+                continue  # a request is executing against it
+            del self._resident[candidate]
+            self._pool.unregister_graph(candidate)
+
     def _decompose_impl(
         self, graph, digest, beta, method, seed, validate, options
     ) -> PartitionResult:
-        own_key = f"{self._namespace}:{digest}"
-        pool_key = own_key
+        own_key, pool_key = self._pin_graph(graph, digest)
         try:
-            with self._resident_lock:
-                # Mark the request in flight *before* any eviction can run
-                # — including the one below, which must not evict the key
-                # it just registered.  The pin is what makes submitting
-                # outside the lock safe: eviction skips pinned keys.
-                self._inflight[own_key] = self._inflight.get(own_key, 0) + 1
-                if own_key in self._resident:
-                    self._resident.move_to_end(own_key)
-                elif digest in self._pool.graph_keys:
-                    # Already resident under its raw digest (registered by
-                    # another owner, e.g. the serve layer's store): use it
-                    # in place, never evict it.
-                    pool_key = digest
-                else:
-                    self._pool.register_graph(own_key, graph)
-                    self._resident[own_key] = None
-                    for candidate in list(self._resident):
-                        if len(self._resident) <= self._max_resident:
-                            break
-                        if self._inflight.get(candidate):
-                            continue  # a request is executing against it
-                        del self._resident[candidate]
-                        self._pool.unregister_graph(candidate)
             result = self._pool.submit(
                 pool_key, beta, method=method, seed=seed, validate=validate,
                 **options,
             ).result()
         finally:
-            with self._resident_lock:
-                remaining = self._inflight.get(own_key, 1) - 1
-                if remaining:
-                    self._inflight[own_key] = remaining
-                else:
-                    self._inflight.pop(own_key, None)
+            self._unpin_graph(own_key)
         # Rebind to the caller's graph object: the pool rehydrates against
         # its own registered parent graph (an equal-content object),
         # while the provider contract hands back the caller's.
         return _rehydrate(graph, _slim(result))
+
+    def _decompose_batch_impl(
+        self, prepared, max_concurrent
+    ) -> list[PartitionResult]:
+        """Rolling-window fan-in: keep the pool's workers saturated.
+
+        At most ``max_concurrent`` (default ``2 × max_workers`` — enough
+        to hide submit latency without pinning a whole level's graphs in
+        shared memory at once) requests are in flight; each holds a
+        residency pin for exactly its own lifetime.  On the first failure
+        no new work is submitted, the in-flight remainder is drained, and
+        the first error is re-raised — completed siblings were already
+        computed but the batch reports no partial results.
+        """
+        import concurrent.futures
+
+        limit = (
+            int(max_concurrent)
+            if max_concurrent is not None
+            else max(1, 2 * self._pool.max_workers)
+        )
+        results: list[PartitionResult | None] = [None] * len(prepared)
+        pending: dict[object, tuple[int, str]] = {}
+        first_error: BaseException | None = None
+        position = 0
+        try:
+            while pending or (position < len(prepared) and first_error is None):
+                while (
+                    position < len(prepared)
+                    and len(pending) < limit
+                    and first_error is None
+                ):
+                    item = prepared[position]
+                    request = item.request
+                    own_key, pool_key = self._pin_graph(
+                        request.graph, item.digest
+                    )
+                    try:
+                        future = self._pool.submit(
+                            pool_key, request.beta, method=item.method,
+                            seed=request.seed, validate=request.validate,
+                            **dict(request.options),
+                        )
+                    except BaseException:
+                        self._unpin_graph(own_key)
+                        raise
+                    pending[future] = (position, own_key)
+                    position += 1
+                if not pending:
+                    break
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    slot, own_key = pending.pop(future)
+                    self._unpin_graph(own_key)
+                    error = future.exception()
+                    if error is not None:
+                        if first_error is None:
+                            first_error = error
+                        continue
+                    results[slot] = _rehydrate(
+                        prepared[slot].request.graph, _slim(future.result())
+                    )
+        finally:
+            # An unexpected raise above (submit failure, interrupt) must
+            # not leave residency pins armed for abandoned futures.
+            for _, own_key in pending.values():
+                self._unpin_graph(own_key)
+        if first_error is not None:
+            raise first_error
+        return results  # type: ignore[return-value]
 
     def stats(self) -> dict:
         out = super().stats()
@@ -415,6 +682,7 @@ class ServeProvider(DecompositionProvider):
         address: tuple[str, int] | None = None,
         timeout: float = 60.0,
         max_uploaded_graphs: int = 32,
+        batch_pool_size: int = 4,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
@@ -422,6 +690,12 @@ class ServeProvider(DecompositionProvider):
             raise ParameterError(
                 f"max_uploaded_graphs must be >= 1, got {max_uploaded_graphs}"
             )
+        if batch_pool_size < 1:
+            raise ParameterError(
+                f"batch_pool_size must be >= 1, got {batch_pool_size}"
+            )
+        self._timeout = float(timeout)
+        self._batch_pool_size = int(batch_pool_size)
         if client is None:
             if address is None:
                 raise ParameterError(
@@ -512,10 +786,6 @@ class ServeProvider(DecompositionProvider):
     def _decompose_impl(
         self, graph, digest, beta, method, seed, validate, options
     ) -> PartitionResult:
-        import numpy as np
-
-        from repro.core.decomposition import Decomposition, PartitionTrace
-        from repro.core.weighted import WeightedDecomposition
         from repro.errors import ServeError
 
         served = None
@@ -538,34 +808,117 @@ class ServeProvider(DecompositionProvider):
                     self._shared_digests.discard(digest)
             finally:
                 self._release_upload(digest)
-        if served.kind == "weighted":
-            decomposition = WeightedDecomposition(
-                graph=graph,
-                center=np.ascontiguousarray(served.center),
-                radius=np.ascontiguousarray(served.per_vertex),
+        return _result_from_served(graph, served, beta, method)
+
+    def _batch_address(self) -> tuple[str, int]:
+        address = getattr(self._client, "address", None)
+        if address is None:
+            from repro.errors import ServeError
+
+            raise ServeError(
+                f"{type(self._client).__name__} exposes no address; "
+                "decompose_batch needs one to open its pipelined client"
             )
-        else:
-            decomposition = Decomposition(
-                graph=graph,
-                center=np.ascontiguousarray(served.center),
-                hops=np.ascontiguousarray(served.per_vertex),
+        return address
+
+    def _decompose_batch_impl(
+        self, prepared, max_concurrent
+    ) -> list[PartitionResult]:
+        """Pipeline a level through an :class:`AsyncServeClient`.
+
+        Every request's graph is uploaded (once per digest) and pinned,
+        then all requests go out concurrently over a small connection
+        pool against the same endpoint as the blocking client — behind a
+        cluster router that fans independent pieces across shards.  A
+        failed request (timeout, dead shard, worker error) fails the
+        whole batch loudly: :meth:`AsyncServeClient.aclose` discards late
+        responses by id, sibling results are dropped, and the first error
+        propagates — the provider itself stays usable.  The one retried
+        failure is ``unknown graph digest`` on every failed request
+        (content discarded out from under us): forget, re-upload, once.
+        """
+        import asyncio
+
+        from repro.errors import ServeError
+        from repro.serve.aio_client import AsyncServeClient
+
+        host, port = self._batch_address()
+
+        async def drive() -> list:
+            client = AsyncServeClient(
+                host, port, timeout=self._timeout,
+                pool_size=min(self._batch_pool_size, len(prepared)),
             )
-        summary = served.summary
-        delta_max = summary.get("delta_max")
-        trace = PartitionTrace(
-            method=str(summary.get("method", method)),
-            beta=float(beta),
-            rounds=int(float(summary.get("rounds", 0))),
-            work=int(float(summary.get("work", 0))),
-            depth=int(float(summary.get("depth", 0))),
-            delta_max=(
-                float("nan") if delta_max is None else float(delta_max)
-            ),
-            wall_time_s=float(summary.get("wall_time_s", 0.0)),
-        )
-        return PartitionResult(
-            decomposition=decomposition, trace=trace, report=None
-        )
+            gate = (
+                asyncio.Semaphore(int(max_concurrent))
+                if max_concurrent is not None
+                else None
+            )
+
+            async def one(item: _Prepared):
+                if gate is None:
+                    return await client.decompose(
+                        item.digest, item.request.beta, method=item.method,
+                        seed=item.request.seed,
+                        validate=item.request.validate,
+                        **dict(item.request.options),
+                    )
+                async with gate:
+                    return await client.decompose(
+                        item.digest, item.request.beta, method=item.method,
+                        seed=item.request.seed,
+                        validate=item.request.validate,
+                        **dict(item.request.options),
+                    )
+
+            try:
+                return await asyncio.gather(
+                    *(one(item) for item in prepared),
+                    return_exceptions=True,
+                )
+            finally:
+                await client.aclose()
+
+        for attempt in (0, 1):
+            for item in prepared:
+                self._ensure_uploaded(item.request.graph, item.digest)
+            try:
+                outcomes = asyncio.run(drive())
+            finally:
+                for item in prepared:
+                    self._release_upload(item.digest)
+            failures = [
+                (item, out)
+                for item, out in zip(prepared, outcomes)
+                if isinstance(out, BaseException)
+            ]
+            if not failures:
+                return [
+                    _result_from_served(
+                        item.request.graph, served, item.request.beta,
+                        item.method,
+                    )
+                    for item, served in zip(prepared, outcomes)
+                ]
+            stale = [
+                item
+                for item, out in failures
+                if isinstance(out, ServeError)
+                and "unknown graph digest" in str(out)
+            ]
+            if attempt == 0 and len(stale) == len(failures):
+                # Self-heal exactly as the serial path does: the content
+                # was discarded out from under us — forget and re-upload.
+                with self._uploaded_lock:
+                    for item in stale:
+                        self._own_uploads.pop(item.digest, None)
+                        self._shared_digests.discard(item.digest)
+                continue
+            first = failures[0][1]
+            raise ServeError(
+                f"batch decompose failed for {len(failures)} of "
+                f"{len(prepared)} request(s); first error: {first}"
+            ) from first
 
     def close(self) -> None:
         if self.closed:
@@ -687,3 +1040,49 @@ def _rehydrate(graph: CSRGraph, slim: tuple) -> PartitionResult:
 def _slim_nbytes(slim: tuple) -> int:
     (kind, center, per_vertex), _trace, _report = slim
     return int(center.nbytes + per_vertex.nbytes)
+
+
+def _result_from_served(
+    graph: CSRGraph, served, beta: float, method: str
+) -> PartitionResult:
+    """Rebuild a local :class:`PartitionResult` from a serve-op result.
+
+    The server returns assignment arrays plus a summary; the caller's
+    graph object becomes the decomposition's graph, so applications
+    cannot tell the backends apart.  ``validate=True`` ran server-side;
+    ``report`` is ``None`` locally (the summary's ``invariants_ok`` field
+    is the witness).
+    """
+    import numpy as np
+
+    from repro.core.decomposition import Decomposition, PartitionTrace
+    from repro.core.weighted import WeightedDecomposition
+
+    if served.kind == "weighted":
+        decomposition = WeightedDecomposition(
+            graph=graph,
+            center=np.ascontiguousarray(served.center),
+            radius=np.ascontiguousarray(served.per_vertex),
+        )
+    else:
+        decomposition = Decomposition(
+            graph=graph,
+            center=np.ascontiguousarray(served.center),
+            hops=np.ascontiguousarray(served.per_vertex),
+        )
+    summary = served.summary
+    delta_max = summary.get("delta_max")
+    trace = PartitionTrace(
+        method=str(summary.get("method", method)),
+        beta=float(beta),
+        rounds=int(float(summary.get("rounds", 0))),
+        work=int(float(summary.get("work", 0))),
+        depth=int(float(summary.get("depth", 0))),
+        delta_max=(
+            float("nan") if delta_max is None else float(delta_max)
+        ),
+        wall_time_s=float(summary.get("wall_time_s", 0.0)),
+    )
+    return PartitionResult(
+        decomposition=decomposition, trace=trace, report=None
+    )

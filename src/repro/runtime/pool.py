@@ -264,6 +264,11 @@ class DecompositionPool:
     # introspection
     # ------------------------------------------------------------------
     @property
+    def max_workers(self) -> int:
+        """Worker-process count — batch schedulers size their window by it."""
+        return self._max_workers
+
+    @property
     def graph_keys(self) -> tuple[str, ...]:
         """Keys of the registered graphs, in registration order."""
         return tuple(self._graphs)

@@ -68,6 +68,10 @@ class _Connection:
         self.protocol = protocol
         self.hello = hello
         self._pending: dict[int, asyncio.Future] = {}
+        #: armed per-request timeout timers, keyed like ``_pending`` — so
+        #: teardown can disarm them instead of leaving callbacks scheduled
+        #: against a dead connection.
+        self._timers: dict[int, asyncio.TimerHandle] = {}
         self._next_id = 0
         self._write_lock = asyncio.Lock()
         self._closed = False
@@ -200,9 +204,11 @@ class _Connection:
         handle = loop.call_later(
             timeout, self._expire, request_id, message.get("op"), timeout
         )
+        self._timers[request_id] = handle
         try:
             fields, body = await future
         finally:
+            self._timers.pop(request_id, None)
             handle.cancel()
         if raw:
             return fields, body
@@ -211,6 +217,7 @@ class _Connection:
         return response
 
     def _expire(self, request_id: int, op, timeout: float) -> None:
+        self._timers.pop(request_id, None)
         future = self._pending.pop(request_id, None)
         if future is not None and not future.done():
             future.set_exception(ServeError(
@@ -250,6 +257,12 @@ class _Connection:
 
     def _fail_pending(self, exc: ServeError) -> None:
         self._closed = True
+        # Disarm the per-request timeout timers with their futures: a
+        # timer surviving teardown would fire `_expire` against a closed
+        # connection (and pin the loop open until the latest deadline).
+        timers, self._timers = self._timers, {}
+        for handle in timers.values():
+            handle.cancel()
         pending, self._pending = self._pending, {}
         for future in pending.values():
             if not future.done():

@@ -297,7 +297,16 @@ class ServeClient:
         self._sock: socket.socket | None = self._connect(
             host, port, timeout, connect_window
         )
+        #: the peer actually connected to — lets callers (e.g. a provider
+        #: batching through a second, pipelined client) re-dial the same
+        #: endpoint after `"0"`-port resolution.
+        self._address: tuple[str, int] = self._sock.getpeername()[:2]
         self._lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` of the connected server."""
+        return self._address
 
     @staticmethod
     def _connect(

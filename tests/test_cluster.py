@@ -509,6 +509,180 @@ class TestClusterProvider:
                     )
 
 
+class TestBatchFaultInjection:
+    """A batch that hits a dead shard or times out must fail the whole
+    level loudly — without wedging sibling requests, the provider, or
+    its memo."""
+
+    @staticmethod
+    def _graphs_covering_both_shards(router):
+        """One graph per shard label, found by seed search."""
+        owned: dict[str, object] = {}
+        for seed in range(60):
+            graph = erdos_renyi(25, 0.2, seed=seed)
+            label = router.owner_of(graph_digest(graph))
+            if label not in owned:
+                owned[label] = graph
+                if len(owned) == 2:
+                    return owned
+        pytest.fail("seeds never covered both shards")
+
+    def test_dead_shard_fails_batch_loudly_not_provider(self):
+        from repro.pipeline import DecomposeRequest
+
+        with cluster_background(num_shards=2, max_workers=1) as router:
+            owned = self._graphs_covering_both_shards(router)
+            dead_label = router.shard_labels[1]
+            dead_graph = owned[dead_label]
+            live_label = next(l for l in owned if l != dead_label)
+            live_graph = owned[live_label]
+            with ClusterProvider(
+                address=router.address, memo_bytes=0, timeout=20.0
+            ) as provider:
+                requests = [
+                    DecomposeRequest(live_graph, 0.3, seed=1),
+                    DecomposeRequest(dead_graph, 0.3, seed=1),
+                    DecomposeRequest(live_graph, 0.35, seed=2),
+                ]
+                # Uploads land while both shards are alive; the failure
+                # is injected mid-workload, between two batches.
+                provider.decompose_batch(requests)
+
+                dead_shard = next(
+                    s for s in router.shard_servers
+                    if f"{s.address[0]}:{s.address[1]}" == dead_label
+                )
+                dead_shard.request_shutdown()
+                deadline = time.monotonic() + 20
+                while time.monotonic() < deadline:
+                    try:
+                        ServeClient(
+                            *dead_shard.address, timeout=1.0,
+                            connect_window=0,
+                        ).close()
+                    except ServeError:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("shard kept accepting after shutdown")
+
+                fresh = [
+                    DecomposeRequest(live_graph, 0.3, seed=11),
+                    DecomposeRequest(dead_graph, 0.3, seed=11),
+                    DecomposeRequest(live_graph, 0.35, seed=12),
+                ]
+                with pytest.raises(
+                    ServeError,
+                    match=f"batch decompose failed.*{dead_label} unreachable",
+                ):
+                    provider.decompose_batch(fresh)
+
+                # The provider is not wedged: live-shard requests keep
+                # serving, serially and batched, with correct results.
+                single = provider.decompose(live_graph, 0.3, seed=11)
+                assert _result_digest(single) == serial_digest(
+                    live_graph, 0.3, seed=11
+                )
+                again = provider.decompose_batch(
+                    [DecomposeRequest(live_graph, 0.35, seed=12)]
+                )
+                assert _result_digest(again[0]) == serial_digest(
+                    live_graph, 0.35, seed=12
+                )
+                # The memo holds nothing from the failed batch: repeating
+                # it fails the same way instead of serving a stale mix.
+                assert provider.stats()["memo_hits"] == 0
+                with pytest.raises(ServeError, match="unreachable"):
+                    provider.decompose_batch(fresh)
+
+    def test_timeout_fails_batch_and_drains_siblings(self):
+        """Against a server that answers uploads but never decomposes,
+        every request in the batch times out; the failure is one loud
+        ServeError and the provider survives."""
+        from repro.pipeline import DecomposeRequest, ServeProvider
+        from repro.serve.protocol import (
+            encode_frame,
+            parse_frame_length,
+        )
+
+        graph = erdos_renyi(20, 0.2, seed=7)
+        digest = graph_digest(graph)
+        loop_holder: dict = {}
+
+        async def serve_conn(reader, writer):
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                    body = await reader.readexactly(
+                        parse_frame_length(header)
+                    )
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                from repro.serve.protocol import decode_frame_payload
+
+                message = decode_frame_payload(body)
+                op = message.get("op")
+                reply = None
+                if op == "hello":
+                    reply = {"ok": True, "protocol": 1}
+                elif op == "upload":
+                    reply = {"ok": True, "digest": digest, "known": False}
+                # decompose: never answer — the timeout must fire.
+                if reply is not None:
+                    if "id" in message:
+                        reply["id"] = message["id"]
+                    writer.write(encode_frame(reply, 1))
+                    await writer.drain()
+
+        def run_server(ready):
+            async def main():
+                server = await asyncio.start_server(
+                    serve_conn, "127.0.0.1", 0
+                )
+                loop_holder["loop"] = asyncio.get_running_loop()
+                loop_holder["address"] = server.sockets[0].getsockname()[:2]
+                loop_holder["stop"] = asyncio.Event()
+                ready.set()
+                async with server:
+                    await loop_holder["stop"].wait()
+
+            asyncio.run(main())
+
+        ready = threading.Event()
+        thread = threading.Thread(target=run_server, args=(ready,))
+        thread.start()
+        assert ready.wait(10)
+        try:
+            with ServeProvider(
+                address=loop_holder["address"], timeout=0.5, memo_bytes=0
+            ) as provider:
+                requests = [
+                    DecomposeRequest(graph, 0.3, seed=s) for s in range(3)
+                ]
+                before = time.monotonic()
+                with pytest.raises(
+                    ServeError, match="batch decompose failed.*timed out"
+                ):
+                    provider.decompose_batch(requests)
+                # All three timed out concurrently, not one after another.
+                assert time.monotonic() - before < 5.0
+                assert not provider.closed
+                assert provider.stats()["memo_hits"] == 0
+        finally:
+            loop_holder["loop"].call_soon_threadsafe(
+                loop_holder["stop"].set
+            )
+            thread.join(timeout=10)
+
+
+def _result_digest(result) -> str:
+    decomposition = result.decomposition
+    sha = hashlib.sha256()
+    for arr in (decomposition.center, decomposition.hops):
+        sha.update(np.ascontiguousarray(arr).tobytes())
+    return sha.hexdigest()
+
+
 class TestRouterValidation:
     def test_router_requires_shards(self):
         with pytest.raises(ParameterError, match="at least one shard"):

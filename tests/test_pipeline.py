@@ -24,6 +24,7 @@ from repro.graphs.generators import erdos_renyi, grid_2d
 from repro.graphs.weighted import weights_by_name
 from repro.lowstretch.akpw import akpw_spanning_tree
 from repro.pipeline import (
+    DecomposeRequest,
     DecompositionProvider,
     EngineProvider,
     PoolProvider,
@@ -86,6 +87,30 @@ def serve_provider(serve_stack):
     _, client = serve_stack
     with ServeProvider(client=client) as provider:
         yield provider
+
+
+@pytest.fixture(scope="module")
+def cluster_provider():
+    from repro.cluster import ClusterProvider, cluster_background
+
+    with cluster_background(num_shards=2, max_workers=2) as router:
+        with ClusterProvider(address=router.address) as provider:
+            yield provider
+
+
+class _CountingEngine(EngineProvider):
+    """Engine provider that records every backend execution's graph."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.executed: list = []
+
+    def _decompose_impl(self, graph, digest, beta, method, seed,
+                        validate, options):
+        self.executed.append(graph)
+        return super()._decompose_impl(
+            graph, digest, beta, method, seed, validate, options
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -325,6 +350,198 @@ class TestSeedDerivation:
         # Content-keyed sub-seeds make a piece that survives a level issue
         # the identical request again — the memo must see real reuse.
         assert stats["memo_hits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# decompose_batch semantics
+# ---------------------------------------------------------------------------
+class TestDecomposeBatch:
+    def _requests(self):
+        return [
+            DecomposeRequest(GRAPH, BETA, seed=1),
+            DecomposeRequest(ER_GRAPH, 0.4, seed=2),
+            DecomposeRequest(GRAPH, BETA, seed=1),  # duplicate of [0]
+            DecomposeRequest(GRAPH, 0.5, method="bfs", seed=3),
+        ]
+
+    def _serial(self, requests):
+        engine = EngineProvider()
+        return [
+            engine.decompose(
+                r.graph, r.beta, method=r.method, seed=r.seed, **r.options
+            )
+            for r in requests
+        ]
+
+    def test_empty_batch(self):
+        assert EngineProvider().decompose_batch([]) == []
+
+    def test_results_in_request_order_match_serial(
+        self, pool_provider, serve_provider, cluster_provider
+    ):
+        requests = self._requests()
+        expected = self._serial(requests)
+        for provider in (
+            EngineProvider(), pool_provider, serve_provider,
+            cluster_provider,
+        ):
+            for max_concurrent in (None, 1, 2):
+                got = provider.decompose_batch(
+                    requests, max_concurrent=max_concurrent
+                )
+                for want, out in zip(expected, got):
+                    np.testing.assert_array_equal(
+                        out.decomposition.center, want.decomposition.center
+                    )
+                    assert out.decomposition.graph is want.decomposition.graph
+
+    def test_equal_requests_execute_once(self):
+        provider = _CountingEngine(memo_bytes=0)
+        requests = self._requests()
+        provider.decompose_batch(requests)
+        # 4 requests, one duplicate pair -> 3 backend executions, even
+        # with the memo disabled (dedup is batch-local).
+        assert len(provider.executed) == 3
+        stats = provider.stats()
+        assert stats["requests"] == 4
+        assert stats["memo_hits"] == 0
+
+    def test_memo_answers_warm_batches(self):
+        provider = _CountingEngine()
+        requests = self._requests()
+        provider.decompose_batch(requests)
+        executed = len(provider.executed)
+        provider.decompose_batch(requests)
+        assert len(provider.executed) == executed  # no new executions
+        assert provider.stats()["memo_hits"] == 4
+        # decompose() and decompose_batch() share one memo.
+        provider.decompose(GRAPH, BETA, seed=1)
+        assert len(provider.executed) == executed
+
+    def test_batch_rehydrates_against_each_requests_graph(self):
+        provider = EngineProvider()
+        twin_a, twin_b = grid_2d(6, 6), grid_2d(6, 6)
+        out = provider.decompose_batch([
+            DecomposeRequest(twin_a, BETA, seed=0),
+            DecomposeRequest(twin_b, BETA, seed=0),
+        ])
+        assert out[0].decomposition.graph is twin_a
+        assert out[1].decomposition.graph is twin_b
+
+    def test_request_validation(self):
+        provider = EngineProvider()
+        with pytest.raises(ParameterError, match="DecomposeRequest"):
+            provider.decompose_batch([object()])
+        with pytest.raises(ParameterError, match="integer seed"):
+            provider.decompose_batch(
+                [DecomposeRequest(GRAPH, BETA, seed=True)]
+            )
+        with pytest.raises(ParameterError, match="unknown method"):
+            provider.decompose_batch(
+                [DecomposeRequest(GRAPH, BETA, method="nope")]
+            )
+        with pytest.raises(ParameterError, match="no option"):
+            provider.decompose_batch(
+                [DecomposeRequest(GRAPH, BETA, options={"bogus": 1})]
+            )
+
+    def test_max_concurrent_validation(self):
+        provider = EngineProvider()
+        requests = [DecomposeRequest(GRAPH, BETA, seed=0)]
+        for bad in (0, -1, True, 1.5):
+            with pytest.raises(ParameterError, match="max_concurrent"):
+                provider.decompose_batch(requests, max_concurrent=bad)
+
+    def test_closed_provider_rejects_batches(self):
+        provider = EngineProvider()
+        provider.close()
+        with pytest.raises(ParameterError, match="closed"):
+            provider.decompose_batch([DecomposeRequest(GRAPH, BETA)])
+
+    def test_inline_cutoff_applies_to_batches(self):
+        with PoolProvider(max_workers=1, inline_cutoff=10**6) as provider:
+            out = provider.decompose_batch(
+                [DecomposeRequest(GRAPH, BETA, seed=0)]
+            )
+            stats = provider.stats()
+            assert stats["inline_runs"] == 1
+            assert stats["pool"]["submitted"] == 0
+        ref = EngineProvider().decompose(GRAPH, BETA, seed=0)
+        np.testing.assert_array_equal(
+            out[0].decomposition.center, ref.decomposition.center
+        )
+
+    def test_pool_batch_bounds_residency_and_pins_inflight(self):
+        """A wide batch over many distinct graphs must respect the
+        residency bound without evicting a graph mid-request."""
+        graphs = [grid_2d(4 + i, 4) for i in range(6)]
+        expected = [
+            EngineProvider().decompose(g, BETA, seed=1).decomposition.center
+            for g in graphs
+        ]
+        with PoolProvider(
+            max_workers=2, max_resident_graphs=2, memo_bytes=0
+        ) as provider:
+            out = provider.decompose_batch(
+                [DecomposeRequest(g, BETA, seed=1) for g in graphs]
+            )
+            assert provider.stats()["resident_graphs"] <= 2
+        for want, got in zip(expected, out):
+            np.testing.assert_array_equal(got.decomposition.center, want)
+
+
+# ---------------------------------------------------------------------------
+# level-parallel applications: determinism across backends and windows
+# ---------------------------------------------------------------------------
+class TestLevelParallelDeterminism:
+    @pytest.mark.parametrize("method", method_names("unweighted"))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_akpw_and_hst_bit_identical_at_any_concurrency(
+        self, method, seed, pool_provider, serve_provider, cluster_provider
+    ):
+        """Level-parallel AKPW/HST ≡ serial, for every registered method,
+        on all four providers, serial-forced and unbounded."""
+        engine = EngineProvider()
+        expected = None
+        for provider in (
+            engine, pool_provider, serve_provider, cluster_provider
+        ):
+            for max_concurrent in (1, None):
+                tree = akpw_spanning_tree(
+                    GRAPH, beta=0.4, seed=seed, method=method,
+                    provider=provider, max_concurrent=max_concurrent,
+                )
+                hierarchy = hierarchical_decomposition(
+                    GRAPH, seed=seed, method=method, provider=provider,
+                    max_concurrent=max_concurrent,
+                )
+                got = (
+                    _digest(tree.forest.parent),
+                    _digest(*hierarchy.labels),
+                )
+                if expected is None:
+                    expected = got
+                else:
+                    assert got == expected, (
+                        f"{provider.backend} drifted at method={method} "
+                        f"seed={seed} max_concurrent={max_concurrent}"
+                    )
+
+    def test_trivial_pieces_never_reach_the_backend(self):
+        """Single-vertex pieces short-circuit locally: every request the
+        hierarchy or AKPW sends to the backend has at least one edge."""
+        from repro.graphs.build import from_edges
+
+        # Two small components plus three isolated vertices.
+        graph = from_edges(
+            9, np.asarray([[0, 1], [1, 2], [2, 0], [3, 4], [4, 5]])
+        )
+        provider = _CountingEngine(memo_bytes=0)
+        hierarchical_decomposition(graph, seed=0, provider=provider)
+        akpw_spanning_tree(graph, beta=0.4, seed=0, provider=provider)
+        assert provider.executed, "applications stopped using the provider"
+        assert all(g.num_vertices > 1 for g in provider.executed)
+        assert all(g.num_edges > 0 for g in provider.executed)
 
 
 # ---------------------------------------------------------------------------

@@ -614,6 +614,86 @@ class TestServerLifecycle:
                 pytest.fail("drained server did not hit its TTL")
 
 
+class TestAsyncClientTimers:
+    """Teardown must disarm per-request timeout timers: a handle surviving
+    ``close()`` fires ``_expire`` against a dead connection and keeps the
+    loop alive until the latest deadline."""
+
+    def test_close_cancels_armed_timeout_timers(self):
+        import asyncio
+
+        from repro.serve.aio_client import AsyncServeClient
+
+        async def hang_after_hello(reader, writer):
+            # Answer the v1 hello handshake, then go silent forever.
+            header = await reader.readexactly(4)
+            await reader.readexactly(parse_frame_length(header))
+            writer.write(encode_frame({"ok": True, "protocol": 1}, 1))
+            await writer.drain()
+            while await reader.read(65536):
+                pass
+
+        async def run():
+            server = await asyncio.start_server(
+                hang_after_hello, "127.0.0.1", 0
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+            client = AsyncServeClient(host, port, timeout=60.0, pool_size=1)
+            task = asyncio.create_task(client.call({"op": "stats"}))
+            for _ in range(500):
+                if client._conns and client._conns[0]._timers:
+                    break
+                await asyncio.sleep(0.01)
+            else:
+                pytest.fail("request never armed its timeout timer")
+            conn = client._conns[0]
+            handles = list(conn._timers.values())
+            assert handles and not any(h.cancelled() for h in handles)
+
+            await client.aclose()
+
+            # The armed timer is gone with the connection — nothing left
+            # to fire `_expire` against the torn-down stream, and the
+            # loop is not pinned open for the remaining 60s.
+            assert conn._timers == {}
+            assert all(h.cancelled() for h in handles)
+            with pytest.raises(ServeError, match="connection closed"):
+                await task
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_server_disconnect_cancels_timers_too(self):
+        import asyncio
+
+        from repro.serve.aio_client import AsyncServeClient
+
+        async def hello_then_drop(reader, writer):
+            header = await reader.readexactly(4)
+            await reader.readexactly(parse_frame_length(header))
+            writer.write(encode_frame({"ok": True, "protocol": 1}, 1))
+            await writer.drain()
+            # Wait for one more request, then drop the connection.
+            await reader.readexactly(4)
+            writer.close()
+
+        async def run():
+            server = await asyncio.start_server(
+                hello_then_drop, "127.0.0.1", 0
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+            client = AsyncServeClient(host, port, timeout=60.0, pool_size=1)
+            with pytest.raises(ServeError, match="closed|lost"):
+                await client.call({"op": "stats"})
+            assert client._conns[0]._timers == {}
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+
 class TestProtocolNegotiation:
     """v1 <-> v2 interop: the hello handshake picks the generation, and a
     v1-only client keeps working against a v2 server unchanged."""
