@@ -1,4 +1,4 @@
-"""Experiment RT — request throughput of the shared-memory batch runtime.
+"""Experiments RT and OBS — runtime throughput, and telemetry overhead.
 
 The serving claim behind `repro.runtime`: once the graph is resident in
 shared memory and workers stay attached, a decomposition request costs its
@@ -15,16 +15,27 @@ edges (graph transport scales with m), few vertices and a tiny diameter
 runtime earns its keep.  ``REPRO_BENCH_SMOKE=1`` shrinks the workload to a
 seconds-fast path-exercise (used by CI) and skips the speedup floor, which
 is only meaningful at full size.
+
+Experiment OBS rides the same workload on the serial executor and flips
+deep telemetry (:func:`repro.telemetry.set_enabled`) between passes: the
+per-round BFS phase timers and histogram observations must cost <= 5% of
+throughput when enabled and leave assignments bit-identical, and the
+per-phase timing histograms they populate are emitted into
+``BENCH_observability.json``.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
+from repro import telemetry
+from repro.core import decompose
 from repro.graphs.generators import erdos_renyi
-from repro.runtime.throughput import measure_throughput
+from repro.runtime.throughput import _digest, measure_throughput
+from repro.telemetry import metrics as _metrics
 
-from common import Table, bench_scale
+from common import Table, bench_scale, emit_bench_json
 
 #: Strategies the RT table reports, baseline first.
 RT_EXECUTORS = ("pickle", "process", "shared")
@@ -80,5 +91,135 @@ def test_runtime_throughput():
         )
 
 
+def _obs_workload():
+    """(graph, beta, num_requests) sized so the 5% budget is measurable.
+
+    The RT smoke graph is so small (~0.4 ms per decomposition) that the
+    instrumentation's fixed per-request cost (~20 us: three histogram
+    observations, two no-op spans, per-round clock reads) and the timer
+    noise are both comparable to the budget; ~40k edges puts one request
+    above two milliseconds, where a 5% regression is real signal and the
+    fixed cost sits where production graphs put it.
+    """
+    if _smoke():
+        return erdos_renyi(2000, 0.02, seed=0), 0.3, 32
+    graph, beta, num_requests, _ = _workload()
+    return graph, beta, num_requests
+
+
+def _measure_obs(graph, beta, num_requests, repeats):
+    """(seconds with telemetry off, on, per-mode digest) for one measurement.
+
+    Times every request individually and keeps each request's fastest time
+    per mode across interleaved off/on passes.  Contention only ever *adds*
+    time (timeit's best-of-N reasoning), and a millisecond-scale sample
+    needs just one clean scheduling window over all the passes — whole-pass
+    timings would need a clean window tens of ms long, which a busy CI box
+    rarely grants.  Interleaving the modes spreads clock-speed drift evenly
+    over both.
+    """
+    seeds = list(range(num_requests))
+    best = {
+        False: [float("inf")] * num_requests,
+        True: [float("inf")] * num_requests,
+    }
+    digests: dict[bool, str] = {}
+    was_enabled = telemetry.enabled()
+    try:
+        telemetry.set_enabled(False)
+        # Discarded warmup so the first measured pass isn't paying cold
+        # caches that later ones don't.
+        for seed in seeds:
+            decompose(graph, beta, seed=seed)
+        for _ in range(repeats):
+            for mode in (False, True):
+                telemetry.set_enabled(mode)
+                results = []
+                times = best[mode]
+                for i, seed in enumerate(seeds):
+                    t0 = time.perf_counter()
+                    results.append(decompose(graph, beta, seed=seed))
+                    elapsed = time.perf_counter() - t0
+                    if elapsed < times[i]:
+                        times[i] = elapsed
+                pass_digest = _digest(results)
+                assert digests.setdefault(mode, pass_digest) == pass_digest, (
+                    "assignments changed across repeat passes: determinism bug"
+                )
+    finally:
+        telemetry.set_enabled(was_enabled)
+    return sum(best[False]), sum(best[True]), digests
+
+
+def test_observability_overhead():
+    """Experiment OBS — deep telemetry costs <= 5% and changes nothing."""
+    graph, beta, num_requests = _obs_workload()
+    repeats = 7
+    # Even per-request minima occasionally read high when the box never
+    # goes quiet during a whole measurement, so an over-budget reading is
+    # re-measured before it counts: a real regression is over budget on
+    # every attempt, a contention spike is not.
+    for attempt in range(3):
+        off_s, on_s, digests = _measure_obs(graph, beta, num_requests, repeats)
+        overhead = on_s / off_s - 1.0
+        if overhead <= 0.05:
+            break
+        print(
+            f"attempt {attempt + 1}: overhead {overhead * 100:+.2f}% "
+            "over budget; re-measuring"
+        )
+
+    table = Table(
+        f"OBS: telemetry overhead, n={graph.num_vertices} "
+        f"m={graph.num_edges} beta={beta} requests={num_requests} "
+        f"per-request best-of-{repeats} interleaved",
+        ["telemetry", "seconds", "req_per_s"],
+    )
+    table.add("off", off_s, num_requests / off_s)
+    table.add("on", on_s, num_requests / on_s)
+    table.show()
+    print(f"overhead with telemetry on: {overhead * 100:+.2f}%")
+
+    # The serial runs executed in this process, so the phase histograms
+    # they populated are in the global registry; ship them as the bench
+    # artifact's per-phase timing section.
+    snap = _metrics.snapshot()
+    phases = {}
+    for key, hist in (snap.get("histograms") or {}).items():
+        base, label_body = _metrics.split_series_key(key)
+        if base != "repro_bfs_phase_seconds":
+            continue
+        phase = label_body.split('"')[1] if '"' in label_body else "all"
+        phases[phase] = {
+            "observations": hist["count"],
+            "total_s": hist["sum"],
+            "mean_s": hist["sum"] / hist["count"] if hist["count"] else 0.0,
+        }
+    emit_bench_json(
+        "observability",
+        {
+            "observability": {
+                "n": graph.num_vertices,
+                "m": graph.num_edges,
+                "beta": beta,
+                "requests": num_requests,
+                "telemetry_off_per_s": num_requests / off_s,
+                "telemetry_on_per_s": num_requests / on_s,
+                "overhead_pct": overhead * 100.0,
+                "phases": phases,
+            }
+        },
+    )
+
+    assert digests[True] == digests[False], (
+        "telemetry changed decomposition output: instrumentation bug"
+    )
+    assert phases, "telemetry-on pass produced no phase histograms"
+    assert overhead <= 0.05, (
+        f"deep telemetry costs {overhead * 100:.1f}% (> 5% budget)"
+    )
+
+
 if __name__ == "__main__":
     test_runtime_throughput()
+    test_observability_overhead()

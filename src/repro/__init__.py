@@ -58,8 +58,18 @@ Package layout (see DESIGN.md for the full inventory):
   — the substrates it runs on;
 - :mod:`repro.lowstretch`, :mod:`repro.spanners`, :mod:`repro.embeddings`,
   :mod:`repro.solvers`, :mod:`repro.blockdecomp`, :mod:`repro.oracles` — the
-  applications the paper motivates.
+  applications the paper motivates;
+- :mod:`repro.telemetry` — metrics registry and tracing spans (the serve
+  layer's ``metrics`` op, ``repro request --trace``, ``repro trace``).
+
+Library logging follows the stdlib convention: every module logs through
+``logging.getLogger(__name__)`` under the ``repro`` root, which carries a
+``NullHandler`` — importing the package never configures logging or prints
+to stderr.  Applications opt in with ``logging.basicConfig()`` (or the
+CLI's ``--verbose``).
 """
+
+import logging as _logging
 
 from repro._version import __version__
 from repro.core.engine import (
@@ -69,6 +79,10 @@ from repro.core.engine import (
     decompose_many,
 )
 from repro.core.partition import partition
+
+# Stdlib library-logging convention: silent unless the application
+# configures handlers (the CLI's --verbose does).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __all__ = [
     "__version__",

@@ -28,10 +28,12 @@ suite checks exhaustively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.errors import ParameterError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 from repro.bfs.frontier import gather_frontier_arcs
@@ -65,6 +67,12 @@ class DelayedBFSResult:
         wake-up — the Theorem 1.2 work measure.
     frontier_sizes:
         Number of vertices claimed in each active round.
+    phase_seconds:
+        Measured wall time per phase (``gather`` — wake-up plus frontier
+        arc expansion; ``resolve`` — claim resolution), accumulated over
+        all rounds.  Populated only when :func:`repro.telemetry.enabled`
+        is true at call time; empty otherwise, so the disabled hot loop
+        takes no clock readings.
     """
 
     center: np.ndarray
@@ -74,6 +82,7 @@ class DelayedBFSResult:
     active_rounds: int
     work: int
     frontier_sizes: list[int]
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
 
 def resolve_claims(
@@ -220,8 +229,14 @@ def delayed_multisource_bfs(
     last_round = t
     active = 0
     limit = np.inf if max_round is None else int(max_round)
+    # Phase timing is decided once per BFS, not per round: when telemetry
+    # is off the loop takes zero clock readings.
+    timed = telemetry.enabled()
+    gather_s = resolve_s = 0.0
 
     while t <= limit:
+        if timed:
+            phase_t0 = time.perf_counter()
         # ---- gather wake-up bids for round t --------------------------------
         wake_hi = ptr
         while wake_hi < n_wake and wake_rounds_sorted[wake_hi] == t:
@@ -244,11 +259,16 @@ def delayed_multisource_bfs(
 
         cand_v = np.concatenate([waking, prop_v])
         cand_c = np.concatenate([waking.astype(np.int64), prop_c])
+        if timed:
+            phase_t1 = time.perf_counter()
+            gather_s += phase_t1 - phase_t0
 
         if cand_v.size:
             winners, owners = resolve_claims(
                 cand_v, cand_c, tie_key, num_vertices=n
             )
+            if timed:
+                resolve_s += time.perf_counter() - phase_t1
             center[winners] = owners
             round_claimed[winners] = t
             frontier = winners.astype(VERTEX_DTYPE)
@@ -280,4 +300,7 @@ def delayed_multisource_bfs(
         active_rounds=active,
         work=work,
         frontier_sizes=frontier_sizes,
+        phase_seconds=(
+            {"gather_s": gather_s, "resolve_s": resolve_s} if timed else {}
+        ),
     )

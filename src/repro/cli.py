@@ -48,6 +48,16 @@ Subcommands
     List registered decomposition methods (with their options), graph
     generators and weight schemes; ``--json`` emits the machine-readable
     registry dump the service's handshake advertises.
+``trace``
+    Pretty-print a JSON-lines trace file (written via ``repro request
+    --trace FILE`` or :func:`repro.telemetry.enable_tracing`) as per-trace
+    span trees — one line per span, children indented under parents.
+
+Observability flags: ``repro request --metrics`` scrapes a server's (or
+cluster's merged) metric registry as Prometheus text; ``--trace FILE``
+on ``request`` records the request's distributed span tree; ``--verbose``
+(repeatable) attaches a stderr log handler to the ``repro`` logger, which
+otherwise stays silent (``NullHandler``).
 """
 
 from __future__ import annotations
@@ -120,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log to stderr (INFO; repeat for DEBUG) — the 'repro' logger "
+        "is otherwise silent",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -240,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shut down after this many idle seconds (CI guard rail)",
     )
+    p_srv.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=None,
+        help="WARNING-log requests slower than this (default 1000; "
+        "0 logs everything; 'off' via --slow-request-ms=-1 disables)",
+    )
 
     p_cl = sub.add_parser(
         "cluster",
@@ -305,6 +330,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shut the cluster down after this many idle seconds",
     )
+    p_cl.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=None,
+        help="per-shard slow-request log threshold (default 1000; "
+        "--slow-request-ms=-1 disables)",
+    )
 
     p_req = sub.add_parser(
         "request", help="send one request to a running decomposition server"
@@ -325,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     action.add_argument(
         "--shutdown", action="store_true", help="stop the server"
+    )
+    action.add_argument(
+        "--metrics",
+        action="store_true",
+        help="scrape the telemetry registry (Prometheus text; --json for "
+        "the mergeable snapshot) — against a cluster router this is the "
+        "merged union of every shard",
     )
     p_req.add_argument(
         "--digest", default=None, help="digest of an already-uploaded graph"
@@ -362,6 +401,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="lift the generated --graph to weighted edges before upload",
     )
     p_req.add_argument("--validate", action="store_true")
+    p_req.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record this request's distributed span tree as JSON lines "
+        "(pretty-print later with 'repro trace FILE')",
+    )
     p_req.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
@@ -422,6 +468,22 @@ def build_parser() -> argparse.ArgumentParser:
                 "--radius-constant", type=float, default=1.0
             )
 
+    p_tr = sub.add_parser(
+        "trace",
+        help="pretty-print a JSON-lines trace file as span trees",
+    )
+    p_tr.add_argument(
+        "file", help="trace file (from 'repro request --trace FILE')"
+    )
+    p_tr.add_argument(
+        "--trace-id", default=None, help="print only this trace id"
+    )
+    p_tr.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the parsed span records as a JSON array",
+    )
+
     p_met = sub.add_parser(
         "methods", help="list methods, generators, weight schemes"
     )
@@ -434,11 +496,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _setup_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the ``repro`` logger for ``--verbose``.
+
+    Library code logs through module loggers under ``repro`` with a
+    ``NullHandler`` on the root (see :mod:`repro`), so without this the
+    CLI is silent — the slow-request WARNINGs included.
+    """
+    if verbosity <= 0:
+        return
+    import logging
+
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(logging.INFO if verbosity == 1 else logging.DEBUG)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    _setup_logging(args.verbose)
     try:
         if args.command == "decompose":
             return _cmd_decompose(args)
@@ -458,6 +541,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_application(args)
         if args.command == "methods":
             return _cmd_methods(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -709,6 +794,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         cache_bytes=cache_bytes,
         idle_ttl=args.ttl,
+        **_slow_request_kwargs(args),
     )
 
     def _announce() -> None:
@@ -761,7 +847,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         shards = [
             stack.enter_context(
                 serve_background(
-                    max_workers=args.workers, cache_bytes=cache_bytes
+                    max_workers=args.workers,
+                    cache_bytes=cache_bytes,
+                    **_slow_request_kwargs(args),
                 )
             )
             for _ in range(args.shards)
@@ -811,6 +899,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:  # pragma: no cover - interactive path
             print("interrupted; cluster stopped", file=sys.stderr)
     return 0
+
+
+def _slow_request_kwargs(args: argparse.Namespace) -> dict:
+    """``--slow-request-ms`` → server ctor kwarg (negative disables)."""
+    if args.slow_request_ms is None:
+        return {}
+    value = args.slow_request_ms
+    return {"slow_request_ms": None if value < 0 else value}
 
 
 def _parse_connect(connect: str) -> tuple[str, int]:
@@ -973,14 +1069,43 @@ def _print_stats_table(doc: dict) -> None:
 
 
 def _cmd_request(args: argparse.Namespace) -> int:
+    host, port = _parse_connect(args.connect)
+    if args.trace:
+        from repro.telemetry import trace as _trace
+
+        # Installing the sink activates client-side tracing: every op this
+        # command issues rides a span, and the remote spans coming back on
+        # each response land in the same file.
+        _trace.enable_tracing(args.trace)
+    try:
+        return _run_request(args, host, port)
+    finally:
+        if args.trace:
+            _trace.disable_tracing()
+            print(
+                f"trace written to {args.trace} "
+                f"(view with: repro trace {args.trace})",
+                file=sys.stderr,
+            )
+
+
+def _run_request(args: argparse.Namespace, host: str, port: int) -> int:
     from repro.errors import ParameterError
     from repro.serve.client import ServeClient
 
-    host, port = _parse_connect(args.connect)
     with ServeClient(host, port, timeout=args.timeout) as client:
         if args.shutdown:
             client.shutdown()
             print("server stopping")
+            return 0
+        if args.metrics:
+            doc = client.metrics(text=not args.json)
+            if args.json:
+                doc.pop("ok", None)
+                doc.pop("text", None)
+                print(json.dumps(doc))
+            else:
+                print(doc.get("text", ""), end="")
             return 0
         if args.stats or args.hello:
             doc = client.stats() if args.stats else client.hello()
@@ -1095,6 +1220,28 @@ def _cmd_application(args: argparse.Namespace) -> int:
         else:
             for key, value in doc.items():
                 print(f"{key:>16}: {value}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ParameterError
+    from repro.telemetry import format_trace_tree, read_spans
+
+    try:
+        spans = read_spans(args.file)
+    except OSError as exc:
+        raise ParameterError(f"cannot read trace file: {exc}") from None
+    if args.trace_id:
+        spans = [
+            s for s in spans if str(s.get("trace_id")) == args.trace_id
+        ]
+    if not spans:
+        print(f"no spans found in {args.file}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(spans))
+    else:
+        print(format_trace_tree(spans))
     return 0
 
 

@@ -16,7 +16,15 @@ digest space:
   an inline ``graph`` (upload-request fields) that the router replays to
   the owner if it answers *unknown graph digest* (upload-on-miss);
 - **stats** fans out and aggregates numeric counters cluster-wide;
+- **metrics** fans out and merges every shard's telemetry registry
+  (plus the router's own relay-latency histograms) into one snapshot;
 - **hello** fans out and unions the resident digests.
+
+Tracing rides through both forwarding planes: a request whose header
+carries ``{"trace_id", "span_id"}`` is restamped with a router-minted
+relay span id (the shard's server span parents to it), and the finished
+``router.relay`` span record joins the response's ``spans`` list during
+the same header-only restamp — the binary tail is still never decoded.
 
 Forwarding has two planes.  Digest-keyed graph ops whose frame
 generation matches the shard's ride a per-shard relay channel
@@ -39,6 +47,8 @@ from __future__ import annotations
 
 import asyncio
 import errno
+import logging
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -58,8 +68,16 @@ from repro.serve.protocol import (
     restamp_frame,
 )
 from repro.serve.server import upload_builder
+from repro.telemetry import (
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus,
+    trace as _trace,
+)
 
 __all__ = ["ClusterRouter", "router_background"]
+
+logger = logging.getLogger(__name__)
 
 #: ops the router forwards to the digest's owning shard verbatim.
 _GRAPH_OPS = (
@@ -79,6 +97,37 @@ _RELAY_HIGH_WATER = 4 * 1024 * 1024
 
 #: seconds before a broken relay channel tries to reconnect.
 _RELAY_RETRY = 0.5
+
+
+def _trace_ctx_of(fields: dict) -> dict | None:
+    """The request's ``{"trace_id", "span_id"}`` header, or ``None``."""
+    ctx = fields.get("trace")
+    if isinstance(ctx, dict) and isinstance(ctx.get("trace_id"), str):
+        return ctx
+    return None
+
+
+def _relay_span_record(
+    trace_ctx: dict, span_id: str, op, shard: str, plane: str,
+    wall: float, dur_s: float,
+) -> dict:
+    """One finished ``router.relay`` span, ready for a response header.
+
+    ``span_id`` was minted when the request was forwarded (the forwarded
+    ``trace`` header named it as the shard's parent), so the shard's
+    server span nests under this relay span and the relay span under the
+    client's — the printed tree shows every hop in order.
+    """
+    return {
+        "trace_id": trace_ctx["trace_id"],
+        "span_id": span_id,
+        "parent_id": trace_ctx.get("span_id"),
+        "name": "router.relay",
+        "ts": wall,
+        "dur_ms": dur_s * 1e3,
+        "pid": os.getpid(),
+        "attrs": {"op": op, "shard": shard, "plane": plane},
+    }
 
 
 class _RelayChannel:
@@ -166,6 +215,10 @@ class _RelayChannel:
         self._writer = writer
         self.protocol = negotiated_protocol(hello, PROTOCOL_VERSION)
         self._connecting = False
+        logger.debug(
+            "relay channel to shard %s up (protocol v%d)",
+            self._label, self.protocol,
+        )
         self._read_task = self._router._loop.create_task(self._read_loop())
 
     def submit(self, body: bytes, fields: dict, client_writer) -> bool:
@@ -182,13 +235,29 @@ class _RelayChannel:
         timer = self._router._loop.call_later(
             self._timeout, self._expire, relay_id
         )
+        updates: dict = {"id": relay_id}
+        trace_ctx = _trace_ctx_of(fields)
+        relay_span_id = None
+        if trace_ctx is not None:
+            # Interpose a router.relay span: the shard sees it as parent,
+            # and the finished span record joins the response in
+            # _read_loop's restamp.
+            relay_span_id = _trace.new_span_id()
+            updates["trace"] = {
+                "trace_id": trace_ctx["trace_id"],
+                "span_id": relay_span_id,
+            }
         self._pending[relay_id] = (
             client_writer,
             fields["id"] if "id" in fields else _NO_ID,
             fields.get("op"),
             timer,
+            trace_ctx,
+            relay_span_id,
+            time.time(),
+            time.perf_counter(),
         )
-        writer.write(restamp_frame(body, {"id": relay_id}))
+        writer.write(restamp_frame(body, updates))
         return True
 
     def _error_frame(self, orig_id, detail: str) -> bytes:
@@ -206,7 +275,7 @@ class _RelayChannel:
         entry = self._pending.pop(relay_id, None)
         if entry is None:
             return
-        client_writer, orig_id, op, _timer = entry
+        client_writer, orig_id, op = entry[:3]
         self._router._shard_errors += 1
         if not client_writer.transport.is_closing():
             client_writer.write(self._error_frame(
@@ -234,13 +303,25 @@ class _RelayChannel:
                 entry = self._pending.pop(fields.get("id"), None)
                 if entry is None:
                     continue  # expired request; late response discarded
-                client_writer, orig_id, _op, timer = entry
+                (client_writer, orig_id, op, timer,
+                 trace_ctx, relay_span_id, wall, t0) = entry
                 timer.cancel()
+                dur_s = time.perf_counter() - t0
+                self._router._metrics.observe(
+                    "repro_relay_seconds", dur_s, shard=self._label
+                )
                 updates: dict = {
                     "id": orig_id if orig_id is not _NO_ID else None
                 }
                 if fields.get("ok") and "shard" not in fields:
                     updates["shard"] = self._label
+                if trace_ctx is not None:
+                    updates["spans"] = list(fields.get("spans") or ()) + [
+                        _relay_span_record(
+                            trace_ctx, relay_span_id, op, self._label,
+                            "relay", wall, dur_s,
+                        )
+                    ]
                 if client_writer.transport.is_closing():
                     continue
                 client_writer.write(restamp_frame(body, updates))
@@ -263,7 +344,7 @@ class _RelayChannel:
         self._reader = None
         self.protocol = None
         self._retry_at = self._router._loop.time() + _RELAY_RETRY
-        for client_writer, orig_id, _op, timer in pending.values():
+        for client_writer, orig_id, _op, timer, *_rest in pending.values():
             timer.cancel()
             self._router._shard_errors += 1
             if not client_writer.transport.is_closing():
@@ -286,8 +367,8 @@ class _RelayChannel:
                 await writer.wait_closed()
             except (OSError, asyncio.CancelledError):
                 pass
-        for *_rest, timer in self._pending.values():
-            timer.cancel()
+        for entry in self._pending.values():
+            entry[3].cancel()  # the expiry timer
         self._pending.clear()
 
 
@@ -360,6 +441,11 @@ class ClusterRouter:
         self._shard_errors = 0
         self._miss_uploads = 0
         self._errors = 0
+        # The router's own registry is an instance, not the process-global
+        # one: under in-process loopback (tests, serve_background shards)
+        # the global registry is shared with the shards, and the metrics
+        # fan-out would merge the same series twice.
+        self._metrics = MetricsRegistry()
 
     @property
     def ring(self) -> HashRing:
@@ -410,6 +496,11 @@ class ClusterRouter:
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
         self._started_at = time.monotonic()
+        logger.info(
+            "routing %d shard(s) on %s:%d: %s",
+            len(self._labels), self.address[0], self.address[1],
+            ", ".join(self._labels),
+        )
         self._touch()
         if self._idle_ttl is not None:
             task = self._loop.create_task(self._ttl_watchdog())
@@ -591,6 +682,20 @@ class ClusterRouter:
                     f"unknown op {op!r}; choices: "
                     f"{sorted(set(self._OPS) | set(_GRAPH_OPS))}"
                 )
+            trace_ctx = _trace_ctx_of(message)
+            if trace_ctx is not None:
+                # Control-plane ops answer router-side (fan-outs,
+                # uploads), so the router is the traced server here; the
+                # shard hops inside run untraced on purpose — their
+                # latency is the fan-out's latency.
+                with _trace.collect_spans() as spans:
+                    with _trace.adopt_context(
+                        trace_ctx["trace_id"], trace_ctx.get("span_id")
+                    ):
+                        with _trace.span(f"router.{op}", op=str(op)):
+                            response = await handler(self, message)
+                response["spans"] = list(response.get("spans") or ()) + spans
+                return response
             return await handler(self, message)
         except ReproError as exc:
             self._errors += 1
@@ -668,6 +773,18 @@ class ClusterRouter:
         forwarded = {
             k: v for k, v in message.items() if k not in ("id", "graph")
         }
+        trace_ctx = _trace_ctx_of(message)
+        relay_span_id = None
+        if trace_ctx is not None:
+            # Same interposition as the relay channel: the shard parents
+            # its server span to the router's relay span.
+            relay_span_id = _trace.new_span_id()
+            forwarded["trace"] = {
+                "trace_id": trace_ctx["trace_id"],
+                "span_id": relay_span_id,
+            }
+        wall = time.time()
+        t0 = time.perf_counter()
         fields, body = await self._forward_raw(label, forwarded)
         inline = message.get("graph")
         if (
@@ -693,6 +810,14 @@ class ClusterRouter:
                     f"attached to the request"
                 )
             fields, body = await self._forward_raw(label, forwarded)
+        dur_s = time.perf_counter() - t0
+        self._metrics.observe("repro_relay_seconds", dur_s, shard=label)
+        relay_span = None
+        if trace_ctx is not None:
+            relay_span = _relay_span_record(
+                trace_ctx, relay_span_id, message.get("op"), label,
+                "task", wall, dur_s,
+            )
         if body is not None and frame_protocol(body) == client_protocol:
             # Fast path: same generation on both hops, so the shard's
             # frame is spliced through with only its header restamped —
@@ -703,6 +828,10 @@ class ClusterRouter:
             }
             if fields.get("ok") and "shard" not in fields:
                 updates["shard"] = label
+            if relay_span is not None:
+                updates["spans"] = (
+                    list(fields.get("spans") or ()) + [relay_span]
+                )
             return restamp_frame(body, updates)
         # Transport failure (no body) or a cross-generation client:
         # decode fully and let encode_frame transcode the arrays.
@@ -712,6 +841,11 @@ class ClusterRouter:
         response.pop("id", None)
         if response.get("ok") and "shard" not in response:
             response = {**response, "shard": label}
+        if relay_span is not None:
+            response = {
+                **response,
+                "spans": list(response.get("spans") or ()) + [relay_span],
+            }
         return response
 
     # ------------------------------------------------------------------
@@ -816,6 +950,46 @@ class ClusterRouter:
             "shards": shards,
         }
 
+    async def _op_metrics(self, message: dict) -> dict:
+        """Cluster-wide metric snapshot: every shard's registry, merged.
+
+        Counters sum, histogram buckets sum (shards share bucket edges by
+        construction — same code everywhere), so the merged snapshot reads
+        exactly like one process's.  The router contributes its own
+        registry (relay latency histograms).  Dead shards are reported in
+        ``shards`` but do not fail the op — the union of the living is
+        still the right answer for a dashboard.
+        """
+        responses = await asyncio.gather(
+            *(
+                self._forward(label, {"op": "metrics", "text": False})
+                for label in self._labels
+            )
+        )
+        snapshots = [self._metrics.snapshot()]
+        processes = 1
+        shards: dict[str, dict] = {}
+        for label, r in zip(self._labels, responses):
+            if r.get("ok") and isinstance(r.get("metrics"), dict):
+                snapshots.append(r["metrics"])
+                processes += int(r.get("processes") or 1)
+                shards[label] = {"ok": True}
+            else:
+                shards[label] = {
+                    "ok": False,
+                    "message": r.get("message", "unreachable"),
+                }
+        merged = merge_snapshots(snapshots)
+        response = {
+            "ok": True,
+            "metrics": merged,
+            "processes": processes,
+            "shards": shards,
+        }
+        if bool(message.get("text", True)):
+            response["text"] = render_prometheus(merged)
+        return response
+
     async def _op_shutdown(self, message: dict) -> dict:
         if self._owns_shards:
             await asyncio.gather(
@@ -831,6 +1005,7 @@ class ClusterRouter:
         "hello": _op_hello,
         "upload": _op_upload,
         "stats": _op_stats,
+        "metrics": _op_metrics,
         "shutdown": _op_shutdown,
     }
 

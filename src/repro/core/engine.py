@@ -72,6 +72,10 @@ class PartitionResult:
     decomposition: Decomposition | WeightedDecomposition
     trace: PartitionTrace
     report: VerificationReport | None = None
+    #: Telemetry span records collected where the decomposition actually
+    #: ran (pool workers ship theirs home here); empty unless the request
+    #: carried a tracing context.  Not part of result equality/identity.
+    spans: tuple = ()
 
     def summary(self) -> dict[str, float | str]:
         """Merged one-line summary for logs and benchmark tables."""

@@ -21,7 +21,10 @@ import time
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.bfs.delayed import delayed_multisource_bfs
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 from repro.core.decomposition import Decomposition, PartitionTrace
 from repro.core.registry import OptionSpec, register_method
 from repro.core.shifts import ShiftAssignment, sample_shifts
@@ -68,10 +71,24 @@ def partition_bfs(
     """
     if graph.num_vertices == 0:
         raise GraphError("cannot partition the empty graph")
-    shifts = sample_shifts(
-        graph.num_vertices, beta, seed=seed, mode=tie_break
-    )
-    return partition_bfs_with_shifts(graph, shifts)
+    timed = telemetry.enabled()
+    t0 = time.perf_counter() if timed else 0.0
+    with _trace.span(
+        "bfs.shifts", vertices=graph.num_vertices, beta=beta
+    ):
+        shifts = sample_shifts(
+            graph.num_vertices, beta, seed=seed, mode=tie_break
+        )
+    shifts_s = (time.perf_counter() - t0) if timed else 0.0
+    decomposition, trace = partition_bfs_with_shifts(graph, shifts)
+    if timed:
+        _metrics.observe(
+            "repro_bfs_phase_seconds", shifts_s, phase="shifts"
+        )
+        phases = dict(trace.extra.get("phases", ()))
+        phases["shifts_s"] = shifts_s
+        trace.extra["phases"] = phases
+    return decomposition, trace
 
 
 def partition_bfs_with_shifts(
@@ -94,11 +111,17 @@ def partition_bfs_with_shifts(
     counter.charge(n, 1, label="sample-shifts")
     counter.charge(n, log2_ceil(n), label="delta-max-reduction")
 
-    result = delayed_multisource_bfs(
-        graph,
-        shifts.start_time,
-        tie_key=shifts.tie_key,
-    )
+    with _trace.span("bfs.expand", vertices=n) as expand_span:
+        result = delayed_multisource_bfs(
+            graph,
+            shifts.start_time,
+            tie_key=shifts.tie_key,
+        )
+        expand_span.annotate(
+            rounds=result.num_rounds,
+            active_rounds=result.active_rounds,
+            work=result.work,
+        )
     # Step 3: each active BFS round is a gather + semisort resolution,
     # O(log n) modelled depth per round ([18]); idle rounds are free.
     counter.charge(result.work, result.active_rounds * log2_ceil(n), label="bfs")
@@ -108,6 +131,27 @@ def partition_bfs_with_shifts(
     decomposition = Decomposition(
         graph=graph, center=result.center, hops=result.hops
     )
+    extra_phases = {}
+    if result.phase_seconds:
+        # Deep instrumentation was on: surface the measured per-phase
+        # times as live histograms and carry them in the trace so the
+        # serving layer can observe them in its own process too.  The
+        # paper's quantities — rounds, work, depth — are NOT re-observed
+        # here: they already live on every PartitionTrace, and the serve
+        # layer folds them into per-method histograms from the trace
+        # (DecompositionServer._observe_trace), keeping this hot path at
+        # two histogram updates.
+        extra_phases = {
+            "phases": {
+                "gather_s": result.phase_seconds.get("gather_s", 0.0),
+                "resolve_s": result.phase_seconds.get("resolve_s", 0.0),
+            }
+        }
+        for phase, seconds in extra_phases["phases"].items():
+            _metrics.observe(
+                "repro_bfs_phase_seconds", seconds,
+                phase=phase[:-2],  # strip the `_s` unit suffix
+            )
     trace = PartitionTrace(
         method=f"bfs-{shifts.mode}",
         beta=shifts.beta,
@@ -123,6 +167,7 @@ def partition_bfs_with_shifts(
             "breakdown": {
                 k: (v.work, v.depth) for k, v in counter.breakdown.items()
             },
+            **extra_phases,
         },
     )
     return decomposition, trace

@@ -1038,7 +1038,7 @@ def _rehydrate(graph: CSRGraph, slim: tuple) -> PartitionResult:
 
 
 def _slim_nbytes(slim: tuple) -> int:
-    (kind, center, per_vertex), _trace, _report = slim
+    _kind, center, per_vertex = slim[0]
     return int(center.nbytes + per_vertex.nbytes)
 
 

@@ -30,15 +30,15 @@ start method.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
-from repro.core.decomposition import Decomposition, PartitionTrace
+from repro.core.decomposition import Decomposition
 from repro.core.engine import PartitionResult, _resolve, decompose
-from repro.core.verify import VerificationReport
 from repro.core.weighted import WeightedDecomposition
 from repro.errors import ParameterError
 from repro.graphs.csr import CSRGraph
@@ -50,6 +50,8 @@ from repro.runtime.shm import (
 )
 
 __all__ = ["DecompositionPool", "DecompositionRequest"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -113,31 +115,57 @@ def _worker_graph(graph_key: str, descriptor: SharedGraphDescriptor):
 
 
 def _execute_request(payload: tuple) -> tuple:
-    """Run one request against the worker's attached graph, return it slim."""
-    graph_key, descriptor, beta, method, seed, validate, options = payload
+    """Run one request against the worker's attached graph, return it slim.
+
+    An optional eighth payload element is the propagated trace context
+    (``{"trace_id", "span_id"}``): when present, the worker adopts it,
+    collects every span the decomposition produces (the ``pool.execute``
+    wrapper plus the BFS-phase spans underneath), and ships them home in
+    the slim tuple so the serving layer can attach them to its response.
+    """
+    graph_key, descriptor, beta, method, seed, validate, options = payload[:7]
+    trace_ctx = payload[7] if len(payload) > 7 else None
     graph = _worker_graph(graph_key, descriptor)
-    result = decompose(
-        graph, beta, method=method, seed=seed, validate=validate, **options
-    )
-    return _slim_result(result)
+    if trace_ctx is None:
+        result = decompose(
+            graph, beta, method=method, seed=seed, validate=validate,
+            **options,
+        )
+        return _slim_result(result)
+    from repro.telemetry import trace as _trace
+
+    with _trace.collect_spans() as spans:
+        with _trace.adopt_context(
+            trace_ctx.get("trace_id"), trace_ctx.get("span_id")
+        ):
+            with _trace.span(
+                "pool.execute",
+                graph_key=graph_key, method=method, seed=seed,
+            ):
+                result = decompose(
+                    graph, beta, method=method, seed=seed,
+                    validate=validate, **options,
+                )
+    return _slim_result(result, spans=tuple(spans))
 
 
-def _slim_result(result: PartitionResult) -> tuple:
+def _slim_result(result: PartitionResult, spans: tuple = ()) -> tuple:
     """Strip the graph out of a result for transport (assignments only)."""
     decomposition = result.decomposition
     if isinstance(decomposition, WeightedDecomposition):
         payload = ("weighted", decomposition.center, decomposition.radius)
     else:
         payload = ("unweighted", decomposition.center, decomposition.hops)
-    return payload, result.trace, result.report
+    return payload, result.trace, result.report, spans
 
 
 def _rehydrate_result(
     graph: CSRGraph,
-    slim: tuple[tuple, PartitionTrace, VerificationReport | None],
+    slim: tuple,
 ) -> PartitionResult:
     """Rebind a slim result to the parent's graph object."""
-    (kind, center, per_vertex), trace, report = slim
+    (kind, center, per_vertex), trace, report = slim[:3]
+    spans = slim[3] if len(slim) > 3 else ()
     if kind == "weighted":
         decomposition = WeightedDecomposition(
             graph=graph, center=center, radius=per_vertex
@@ -147,7 +175,8 @@ def _rehydrate_result(
             graph=graph, center=center, hops=per_vertex
         )
     return PartitionResult(
-        decomposition=decomposition, trace=trace, report=report
+        decomposition=decomposition, trace=trace, report=report,
+        spans=tuple(spans),
     )
 
 
@@ -256,6 +285,10 @@ class DecompositionPool:
                     future.result()
             else:
                 self._pool.submit(_warm_up).result()
+            logger.debug(
+                "pool up: %d worker(s), start_method=%s, %d graph(s) "
+                "resident", self._max_workers, start, len(self._graphs),
+            )
         except BaseException:
             self.shutdown()
             raise
@@ -366,6 +399,7 @@ class DecompositionPool:
         method: str = "auto",
         seed: int | None = None,
         validate: bool = False,
+        trace_ctx: dict | None = None,
         **options: object,
     ) -> "Future[PartitionResult]":
         """Enqueue one decomposition; returns a future of the full result.
@@ -373,17 +407,21 @@ class DecompositionPool:
         The configuration is validated here, parent-side — an unknown graph
         key, method or option raises immediately with the registry's
         message instead of surfacing from a worker.
+
+        ``trace_ctx`` is an optional ``{"trace_id", "span_id"}`` tracing
+        context: it rides the request payload to the worker, which then
+        returns its spans on :attr:`PartitionResult.spans`.
         """
         if self._pool is None:
             raise ParameterError("DecompositionPool is shut down")
         graph = self._graphs[self._check_key(graph_key)]
         _resolve(graph, method).bind(options)
         descriptor = self._shared[graph_key].descriptor
-        raw = self._pool.submit(
-            _execute_request,
-            (graph_key, descriptor, beta, method, seed, validate,
-             dict(options)),
-        )
+        payload = (graph_key, descriptor, beta, method, seed, validate,
+                   dict(options))
+        if trace_ctx is not None:
+            payload += (dict(trace_ctx),)
+        raw = self._pool.submit(_execute_request, payload)
         with self._stats_lock:
             self._submitted += 1
         out = _chain_future(raw, lambda slim: _rehydrate_result(graph, slim))

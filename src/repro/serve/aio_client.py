@@ -55,6 +55,7 @@ from repro.serve.protocol import (
     parse_frame_length,
     peek_frame_fields,
 )
+from repro.telemetry import trace as _trace
 
 __all__ = ["AsyncServeClient"]
 
@@ -351,8 +352,26 @@ class AsyncServeClient:
         return min(conns, key=lambda c: c.inflight)
 
     async def _call(self, message: dict) -> dict:
-        conn = await self._acquire()
-        return check_response(await conn.call(message, self._timeout))
+        if not _trace.tracing_active():
+            conn = await self._acquire()
+            return check_response(await conn.call(message, self._timeout))
+        # Same contract as the sync client: a client root span rides the
+        # request header out, and the far side's spans are re-emitted
+        # locally off the response.
+        with _trace.span(
+            f"client.{message.get('op', '?')}", op=message.get("op")
+        ) as client_span:
+            ctx = client_span.context()
+            if ctx is not None:
+                message = {**message, "trace": ctx}
+            conn = await self._acquire()
+            response = check_response(
+                await conn.call(message, self._timeout)
+            )
+            remote = response.pop("spans", None)
+            if remote:
+                _trace.emit_spans(remote)
+            return response
 
     async def call(self, message: dict, *, check: bool = True) -> dict:
         """Send a raw protocol message and return the response dict.
@@ -504,6 +523,9 @@ class AsyncServeClient:
 
     async def stats(self) -> dict:
         return await self._call({"op": "stats"})
+
+    async def metrics(self, *, text: bool = True) -> dict:
+        return await self._call({"op": "metrics", "text": text})
 
     async def shutdown(self) -> dict:
         return await self._call({"op": "shutdown"})

@@ -38,6 +38,7 @@ from repro.serve.protocol import (
     encode_frame,
     read_frame_blocking,
 )
+from repro.telemetry import trace as _trace
 
 __all__ = [
     "ServeClient",
@@ -368,12 +369,33 @@ class ServeClient:
         return response
 
     def _call(self, message: dict) -> dict:
+        if not _trace.tracing_active():
+            return self._call_untraced(message)
+        # Tracing is on: wrap the round trip in a client root span, ship
+        # its context in the request header, and re-emit whatever spans
+        # the far side (worker → server → router relay) sent back, so the
+        # local sink ends up holding the complete cross-process tree.
+        with _trace.span(
+            f"client.{message.get('op', '?')}", op=message.get("op")
+        ) as client_span:
+            ctx = client_span.context()
+            if ctx is not None:
+                message = {**message, "trace": ctx}
+            response = self._call_untraced(message)
+            remote = response.pop("spans", None)
+            if remote:
+                _trace.emit_spans(remote)
+            if isinstance(response.get("cached"), bool):
+                client_span.annotate(cached=response["cached"])
+            return response
+
+    def _call_untraced(self, message: dict) -> dict:
         with self._lock:
             if self._sock is None:
                 raise ServeError("client is closed")
             if self._protocol is None:
                 response = self._negotiate_locked()
-                if message == {"op": "hello"}:
+                if message.get("op") == "hello" and "trace" not in message:
                     return check_response(response)
                 check_response(response)
             response = self._roundtrip_locked(message, self._protocol)
@@ -558,6 +580,12 @@ class ServeClient:
     def stats(self) -> dict:
         """Server/cache/store/pool counters."""
         return self._call({"op": "stats"})
+
+    def metrics(self, *, text: bool = True) -> dict:
+        """Telemetry snapshot: ``metrics`` (mergeable JSON tree) and, with
+        ``text=True``, its Prometheus rendering under ``text``.  Against a
+        cluster router the snapshot is the merge of every shard's."""
+        return self._call({"op": "metrics", "text": text})
 
     def shutdown(self) -> dict:
         """Ask the server to stop (the response confirms it is stopping)."""

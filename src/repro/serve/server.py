@@ -39,6 +39,8 @@ from __future__ import annotations
 
 import asyncio
 import errno
+import json
+import logging
 import math
 import threading
 import time
@@ -66,8 +68,13 @@ from repro.serve.protocol import (
     parse_frame_length,
 )
 from repro.serve.store import GraphStore, graph_digest
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+from repro.telemetry.metrics import COUNT_BUCKETS, render_prometheus
 
 __all__ = ["DecompositionServer", "serve_background", "upload_builder"]
+
+logger = logging.getLogger(__name__)
 
 #: classes a binary upload may name — the transport contract of
 #: ``csr_arrays()``/``from_arrays()``; anything else is rejected.
@@ -195,6 +202,11 @@ class DecompositionServer:
         coalescing).
     idle_ttl:
         Shut down after this many seconds without any client frame.
+    slow_request_ms:
+        Requests slower than this emit one structured WARNING line on the
+        ``repro.serve.server`` logger (op, elapsed, cached/coalesced
+        flags) and bump ``repro_slow_requests_total``.  ``None`` disables
+        the log entirely.
     """
 
     def __init__(
@@ -207,6 +219,7 @@ class DecompositionServer:
         start_method: str | None = None,
         cache_bytes: int = DEFAULT_MAX_BYTES,
         idle_ttl: float | None = None,
+        slow_request_ms: float | None = 1000.0,
     ) -> None:
         if isinstance(graphs, CSRGraph):
             graphs = [graphs]
@@ -219,6 +232,13 @@ class DecompositionServer:
         if idle_ttl is not None and idle_ttl <= 0:
             raise ParameterError(f"idle_ttl must be > 0, got {idle_ttl}")
         self._idle_ttl = idle_ttl
+        if slow_request_ms is not None and slow_request_ms < 0:
+            raise ParameterError(
+                f"slow_request_ms must be >= 0, got {slow_request_ms}"
+            )
+        self._slow_request_s = (
+            None if slow_request_ms is None else slow_request_ms / 1e3
+        )
 
         self._pool: DecompositionPool | None = None
         self._store: GraphStore | None = None
@@ -294,6 +314,11 @@ class DecompositionServer:
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
         self._started_at = time.monotonic()
+        logger.info(
+            "serving on %s:%d (workers=%d, preloaded=%d, ttl=%s)",
+            self.address[0], self.address[1], self._pool.max_workers,
+            len(self.preloaded), self._idle_ttl,
+        )
         self._touch()
         if self._idle_ttl is not None:
             task = self._loop.create_task(self._ttl_watchdog())
@@ -345,6 +370,11 @@ class DecompositionServer:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown()
+        if self.address is not None:
+            logger.info(
+                "server on %s:%d stopped (%d request(s) served)",
+                self.address[0], self.address[1], self._requests_total,
+            )
 
     # ------------------------------------------------------------------
     # connection handling
@@ -450,6 +480,56 @@ class DecompositionServer:
     async def _dispatch(self, message: dict) -> dict:
         self._requests_total += 1
         op = message.get("op")
+        op_label = op if isinstance(op, str) else "invalid"
+        trace_ctx = message.get("trace")
+        start = time.perf_counter()
+        if (
+            isinstance(trace_ctx, dict)
+            and isinstance(trace_ctx.get("trace_id"), str)
+        ):
+            # Each request runs as its own asyncio task, so the contextvar
+            # collector is per-request by construction.  Spans collected
+            # here (the server span plus anything the op emits — e.g. the
+            # pool worker's, re-emitted by _op_decompose) ride back to the
+            # client on the response's "spans" header field.
+            with _trace.collect_spans() as spans:
+                with _trace.adopt_context(
+                    trace_ctx["trace_id"], trace_ctx.get("span_id")
+                ):
+                    with _trace.span(f"server.{op_label}", op=op_label):
+                        response = await self._dispatch_inner(op, message)
+            response["spans"] = spans
+        else:
+            response = await self._dispatch_inner(op, message)
+        elapsed = time.perf_counter() - start
+        logger.debug(
+            "%s ok=%s %.2fms", op_label,
+            bool(response.get("ok", False)), elapsed * 1e3,
+        )
+        _metrics.counter("repro_requests_total", op=op_label)
+        _metrics.observe("repro_request_seconds", elapsed, op=op_label)
+        if not response.get("ok", False):
+            _metrics.counter("repro_request_errors_total", op=op_label)
+        if (
+            self._slow_request_s is not None
+            and elapsed >= self._slow_request_s
+        ):
+            _metrics.counter("repro_slow_requests_total", op=op_label)
+            logger.warning(
+                "slow request: %s",
+                json.dumps({
+                    "op": op_label,
+                    "elapsed_ms": round(elapsed * 1e3, 3),
+                    "threshold_ms": self._slow_request_s * 1e3,
+                    "ok": bool(response.get("ok", False)),
+                    "cached": response.get("cached"),
+                    "coalesced": response.get("coalesced"),
+                    "id": message.get("id"),
+                }, sort_keys=True),
+            )
+        return response
+
+    async def _dispatch_inner(self, op, message: dict) -> dict:
         handler = self._OPS.get(op)
         try:
             if handler is None:
@@ -629,6 +709,7 @@ class DecompositionServer:
 
         async def _compute():
             self._pool_executions += 1
+            t0 = time.perf_counter()
             result = await asyncio.wrap_future(
                 self._pool.submit(
                     digest,
@@ -636,9 +717,18 @@ class DecompositionServer:
                     method=spec.name,
                     seed=seed,
                     validate=validate,
+                    # The worker adopts the server span as parent and
+                    # sends its spans back on the result (None when this
+                    # request carries no trace).
+                    trace_ctx=_trace.current_context(),
                     **options,
                 )
             )
+            _metrics.observe(
+                "repro_pool_execution_seconds", time.perf_counter() - t0
+            )
+            self._observe_trace(spec.name, result.trace)
+            _trace.emit_spans(result.spans)
             slim = _slim_from_result(result)
             return slim, slim.nbytes
 
@@ -646,6 +736,38 @@ class DecompositionServer:
         return self._decompose_response(
             digest, slim, cached=cached, coalesced=coalesced
         )
+
+    @staticmethod
+    def _observe_trace(method: str, trace) -> None:
+        """Fold one execution's measured paper quantities into the registry.
+
+        Rounds/work/depth are the numbers Theorem 1.2 bounds; the phase
+        breakdown is present when deep instrumentation (REPRO_TELEMETRY)
+        was on in the worker.  Cached and coalesced requests never reach
+        here — these histograms count actual executions.
+        """
+        _metrics.observe(
+            "repro_bfs_rounds", trace.rounds,
+            buckets=COUNT_BUCKETS, method=method,
+        )
+        _metrics.observe(
+            "repro_bfs_work", trace.work,
+            buckets=COUNT_BUCKETS, method=method,
+        )
+        _metrics.observe(
+            "repro_bfs_depth", trace.depth,
+            buckets=COUNT_BUCKETS, method=method,
+        )
+        phases = (
+            trace.extra.get("phases") if isinstance(trace.extra, dict)
+            else None
+        )
+        if phases:
+            for name, seconds in phases.items():
+                _metrics.observe(
+                    "repro_bfs_phase_seconds", seconds,
+                    phase=name[:-2] if name.endswith("_s") else name,
+                )
 
     def _decompose_response(
         self, digest: str, slim: _SlimResult, *, cached: bool, coalesced: bool
@@ -830,7 +952,10 @@ class DecompositionServer:
     async def _op_stats(self, message: dict) -> dict:
         provider_stats = None
         if self._app_provider is not None:
-            provider_stats = self._app_provider.stats()
+            # Snapshot-copy before redacting: stats() may hand back (or
+            # later be changed to hand back) live internal state, and a
+            # pop() on it would silently delete the provider's own keys.
+            provider_stats = dict(self._app_provider.stats())
             # The provider shares the server cache and pool; their numbers
             # are reported top-level already.
             provider_stats.pop("memo", None)
@@ -855,6 +980,19 @@ class DecompositionServer:
             "app_provider": provider_stats,
         }
 
+    async def _op_metrics(self, message: dict) -> dict:
+        """This process's metric snapshot (+ Prometheus text rendering).
+
+        The snapshot is the JSON tree :meth:`MetricsRegistry.snapshot`
+        produces — mergeable, which is what the cluster router does with
+        every shard's answer before handing the union to the client.
+        """
+        snap = _metrics.snapshot()
+        response = {"ok": True, "metrics": snap, "processes": 1}
+        if bool(message.get("text", True)):
+            response["text"] = render_prometheus(snap)
+        return response
+
     async def _op_shutdown(self, message: dict) -> dict:
         # The response is written before the connection loop reads again;
         # run_async then tears everything down.
@@ -870,6 +1008,7 @@ class DecompositionServer:
         "lowstretch_tree": _op_lowstretch_tree,
         "hierarchy": _op_hierarchy,
         "stats": _op_stats,
+        "metrics": _op_metrics,
         "shutdown": _op_shutdown,
     }
 

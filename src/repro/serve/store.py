@@ -13,6 +13,7 @@ of the server.
 from __future__ import annotations
 
 import hashlib
+import logging
 
 import numpy as np
 
@@ -20,6 +21,8 @@ from repro.errors import ParameterError
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["graph_digest", "GraphStore"]
+
+logger = logging.getLogger(__name__)
 
 
 def graph_digest(graph: CSRGraph) -> str:
@@ -79,6 +82,11 @@ class GraphStore:
             return digest, True
         self._pool.register_graph(digest, graph)
         self._graphs[digest] = graph
+        logger.debug(
+            "registered graph %s (n=%d, m=%d, %d resident)",
+            digest[:12], graph.num_vertices, graph.num_edges,
+            len(self._graphs),
+        )
         return digest, False
 
     def get(self, digest: str) -> CSRGraph:

@@ -1,0 +1,82 @@
+"""Observability for the whole stack: metrics, tracing, and the enable flag.
+
+Two halves (see DESIGN.md §11):
+
+- :mod:`repro.telemetry.metrics` — a zero-dependency process-local
+  :class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms)
+  whose snapshots are JSON-safe and mergeable across processes; the serve
+  ``metrics`` op exposes it, the cluster router merges it shard-wide.
+- :mod:`repro.telemetry.trace` — spans with cross-process context
+  propagation over the serve protocol's JSON control headers; spans ride
+  responses back to the client's JSON-lines sink.
+
+:func:`enabled` gates the *deep* instrumentation — per-round BFS phase
+timing and the per-decomposition histogram observations — which is the
+only telemetry with measurable hot-loop cost (experiment OBS pins it ≤ 5%
+enabled, ~0 disabled).  Serve-layer request counters/latency histograms
+are always on: one dict update per request is free at protocol timescales.
+Set ``REPRO_TELEMETRY=1`` (inherited by pool workers) or call
+:func:`set_enabled`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry import metrics, trace
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.telemetry.trace import (
+    Span,
+    adopt_context,
+    collect_spans,
+    current_context,
+    disable_tracing,
+    emit_spans,
+    enable_tracing,
+    format_trace_tree,
+    read_spans,
+    span,
+    tracing_active,
+)
+
+__all__ = [
+    "metrics",
+    "trace",
+    "MetricsRegistry",
+    "get_registry",
+    "merge_snapshots",
+    "render_prometheus",
+    "Span",
+    "adopt_context",
+    "collect_spans",
+    "current_context",
+    "disable_tracing",
+    "emit_spans",
+    "enable_tracing",
+    "format_trace_tree",
+    "read_spans",
+    "span",
+    "tracing_active",
+    "enabled",
+    "set_enabled",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_ENABLED = os.environ.get("REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
+
+
+def enabled() -> bool:
+    """Whether deep (per-phase) instrumentation records anything."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Runtime override of ``REPRO_TELEMETRY`` for this process only."""
+    global _ENABLED
+    _ENABLED = bool(flag)

@@ -1,0 +1,274 @@
+"""Process-local metrics: counters, gauges, and fixed-bucket histograms.
+
+Zero-dependency by design — the registry is a locked dict of plain floats
+and bucket arrays, so it can live in every process of the stack (client,
+router, serve shard, pool worker) without dragging anything onto the hot
+path beyond a dict update.  Three properties the serving layer relies on:
+
+- **snapshot-able** — :meth:`MetricsRegistry.snapshot` returns a plain JSON
+  tree (no numpy, no custom classes), so a snapshot can ride a serve frame
+  header unchanged;
+- **mergeable** — :func:`merge_snapshots` sums counters, gauges and
+  histograms bucket-by-bucket across snapshots taken in *different
+  processes*, which is exactly what the cluster router's ``metrics`` op
+  does with its shards' answers.  Histogram merges require identical bucket
+  edges; every series created from the same code path has them by
+  construction, and a mismatch raises rather than silently mis-binning;
+- **renderable** — :func:`render_prometheus` emits the Prometheus text
+  exposition format (``_bucket``/``_sum``/``_count`` triplets with ``le``
+  labels), so the snapshot is scrapeable without any new dependency.
+
+Labelled series are stored flat under ``name{k="v",...}`` keys with sorted
+label names, making equality of a series across processes a string match.
+
+Gauges merge by summation — right for the occupancy-style gauges used here
+(in-flight requests, resident graphs), where the cluster-wide value *is*
+the sum over shards.  Do not put min/max-style gauges through a merge.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "COUNT_BUCKETS",
+    "MetricsRegistry",
+    "get_registry",
+    "counter",
+    "gauge",
+    "observe",
+    "snapshot",
+    "merge_snapshots",
+    "render_prometheus",
+]
+
+#: Default histogram edges for latencies, in seconds (upper bounds; an
+#: implicit +Inf overflow bucket is always appended).
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Power-of-two edges for count-valued observations (BFS rounds, work).
+COUNT_BUCKETS = tuple(float(2 ** k) for k in range(0, 21))
+
+
+def series_key(name: str, labels: dict | None) -> str:
+    """Canonical flat key for a (name, labels) series: ``name{k="v",...}``."""
+    if not labels:
+        return name
+    if len(labels) == 1:  # the common hot-path shape; skip the sort
+        ((key, value),) = labels.items()
+        return f'{name}{{{key}="{value}"}}'
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def split_series_key(key: str) -> tuple[str, str]:
+    """Inverse-ish of :func:`series_key`: ``(base name, label body or "")``."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, ""
+    return key[:brace], key[brace + 1:-1]
+
+
+class MetricsRegistry:
+    """One process's metric store.  Thread-safe; cheap enough for hot paths.
+
+    Normally used through the module-level global (:func:`get_registry` and
+    the :func:`counter`/:func:`gauge`/:func:`observe` conveniences); tests
+    construct private instances.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # key -> [edges tuple, counts list (len(edges)+1), sum, count]
+        self._histograms: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: float = 1.0, **labels) -> None:
+        """Add ``value`` (default 1) to a monotonically increasing counter."""
+        key = series_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + float(value)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a point-in-time value (last write wins within the process)."""
+        key = series_key(name, labels)
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels,
+    ) -> None:
+        """Record ``value`` into a fixed-bucket histogram.
+
+        The first observation of a series fixes its bucket edges; later
+        observations ignore ``buckets`` (edges never change once created,
+        which is what keeps cross-process merges well defined).
+        """
+        key = series_key(name, labels)
+        value = float(value)
+        with self._lock:
+            series = self._histograms.get(key)
+            if series is None:
+                edges = tuple(float(b) for b in buckets)
+                series = [edges, [0] * (len(edges) + 1), 0.0, 0]
+                self._histograms[key] = series
+            # First index whose edge >= value — the "le" bucket; past the
+            # last edge lands in the +Inf overflow slot.  bisect runs in C,
+            # keeping one observation in the low microseconds.
+            series[1][bisect_left(series[0], value)] += 1
+            series[2] += value
+            series[3] += 1
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-safe copy of every series (see module docstring)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    key: {
+                        "buckets": list(edges),
+                        "counts": list(counts),
+                        "sum": total,
+                        "count": count,
+                    }
+                    for key, (edges, counts, total, count)
+                    in self._histograms.items()
+                },
+            }
+
+    def merge(self, snap: dict) -> None:
+        """Fold a snapshot (possibly from another process) into this registry."""
+        counters = snap.get("counters") or {}
+        gauges = snap.get("gauges") or {}
+        histograms = snap.get("histograms") or {}
+        with self._lock:
+            for key, value in counters.items():
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            for key, value in gauges.items():
+                self._gauges[key] = self._gauges.get(key, 0.0) + value
+            for key, hist in histograms.items():
+                edges = tuple(float(b) for b in hist["buckets"])
+                series = self._histograms.get(key)
+                if series is None:
+                    series = [edges, [0] * (len(edges) + 1), 0.0, 0]
+                    self._histograms[key] = series
+                elif series[0] != edges:
+                    raise ValueError(
+                        f"histogram {key!r} bucket edges differ between "
+                        "merge sources; refusing to mis-bin"
+                    )
+                for i, c in enumerate(hist["counts"]):
+                    series[1][i] += c
+                series[2] += hist["sum"]
+                series[3] += hist["count"]
+
+    def reset(self) -> None:
+        """Drop every series (tests; never called in serving code)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Sum a list of snapshots into one (the cluster ``metrics`` merge)."""
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.merge(snap)
+    return merged.snapshot()
+
+
+def render_prometheus(snap: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _type_line(key: str, kind: str) -> str:
+        base, _ = split_series_key(key)
+        if base in typed:
+            return ""
+        typed.add(base)
+        return f"# TYPE {base} {kind}\n"
+
+    for key in sorted(snap.get("counters") or {}):
+        lines.append(_type_line(key, "counter"))
+        lines.append(f"{key} {_fmt(snap['counters'][key])}\n")
+    for key in sorted(snap.get("gauges") or {}):
+        lines.append(_type_line(key, "gauge"))
+        lines.append(f"{key} {_fmt(snap['gauges'][key])}\n")
+    for key in sorted(snap.get("histograms") or {}):
+        hist = snap["histograms"][key]
+        base, label_body = split_series_key(key)
+        lines.append(_type_line(key, "histogram"))
+        cumulative = 0
+        for edge, count in zip(
+            list(hist["buckets"]) + ["+Inf"], hist["counts"]
+        ):
+            cumulative += count
+            le = edge if edge == "+Inf" else _fmt(edge)
+            labels = f'{label_body},le="{le}"' if label_body else f'le="{le}"'
+            lines.append(f"{base}_bucket{{{labels}}} {cumulative}\n")
+        suffix = f"{{{label_body}}}" if label_body else ""
+        lines.append(f"{base}_sum{suffix} {_fmt(hist['sum'])}\n")
+        lines.append(f"{base}_count{suffix} {hist['count']}\n")
+    return "".join(lines)
+
+
+def _fmt(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+# ---------------------------------------------------------------------------
+# the process-global registry
+# ---------------------------------------------------------------------------
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry every instrumented module records into."""
+    return _REGISTRY
+
+
+def counter(name: str, value: float = 1.0, **labels) -> None:
+    _REGISTRY.counter(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    _REGISTRY.gauge(name, value, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    *,
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    **labels,
+) -> None:
+    _REGISTRY.observe(name, value, buckets=buckets, **labels)
+
+
+def snapshot() -> dict:
+    return _REGISTRY.snapshot()

@@ -1,0 +1,296 @@
+"""Distributed tracing spans with end-to-end context propagation.
+
+A *span* is one timed operation: ``{trace_id, span_id, parent_id, name,
+ts, dur_ms, proc, pid, attrs}``.  Durations come from ``perf_counter`` (a
+monotonic clock — wall-clock steps cannot produce negative spans); ``ts``
+is wall-clock epoch seconds, used only to order siblings when printing.
+
+The API is ``NullHandler``-shaped: :func:`span` is a context manager that,
+when tracing is *inactive*, yields a shared no-op object without touching
+contextvars or clocks — the disabled cost is two contextvar reads.  Tracing
+is active when either
+
+- a **sink** is installed (:func:`enable_tracing` — a JSON-lines file path
+  or a callable), the client-side mode: every finished span is written as
+  one JSON line; or
+- a **collector** is active (:func:`collect_spans`), the server/worker-side
+  mode: finished spans are appended to a per-request list that the serving
+  layer attaches to its response frame.
+
+Propagation works *backwards*: the request carries only the tiny context
+(``{"trace_id", "span_id"}`` in the frame's JSON control header, adopted
+remotely via :func:`adopt_context`), while the spans themselves ride the
+**response** — pool workers return theirs inside the slim result, shard
+servers attach theirs as a ``spans`` header field, the cluster router
+appends its relay span during the header-only restamp, and the client
+finally re-emits everything (:func:`emit_spans`) into its local sink.  One
+JSON-lines file therefore holds the complete multi-process tree, which
+``repro trace <file>`` pretty-prints via :func:`format_trace_tree`.
+
+Parent/child linking within a process is a contextvar, so concurrent
+asyncio requests and threads each see their own current span.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = [
+    "Span",
+    "span",
+    "current_context",
+    "adopt_context",
+    "collect_spans",
+    "emit_span",
+    "emit_spans",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_active",
+    "new_trace_id",
+    "new_span_id",
+    "read_spans",
+    "format_trace_tree",
+]
+
+#: (trace_id, span_id) of the innermost live (or adopted) span, per context.
+_CTX: ContextVar[tuple[str, str] | None] = ContextVar(
+    "repro_trace_ctx", default=None
+)
+#: Active per-request collector list, per context.
+_COLLECT: ContextVar[list | None] = ContextVar(
+    "repro_trace_collect", default=None
+)
+
+_sink = None          # callable(record) or None
+_sink_file = None     # owned file object, when the sink is a path
+
+
+def new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+def tracing_active() -> bool:
+    """True when a sink or a collector would receive a finished span."""
+    return _sink is not None or _COLLECT.get() is not None
+
+
+class Span:
+    """A live span; annotate attributes via :meth:`annotate`.
+
+    The module-level ``_NOOP`` instance is yielded when tracing is
+    inactive: its ids are ``None`` and :meth:`annotate` does nothing, so
+    instrumented code needs no enabled-checks of its own.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "attrs")
+
+    def __init__(self, trace_id, span_id, parent_id, name) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs: dict = {}
+
+    def annotate(self, **attrs) -> None:
+        """Attach key/value attributes to the span record."""
+        if self.span_id is not None:
+            self.attrs.update(attrs)
+
+    def context(self) -> dict | None:
+        """The ``{"trace_id", "span_id"}`` dict a request header carries."""
+        if self.span_id is None:
+            return None
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+
+_NOOP = Span(None, None, None, None)
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Time a block as one span; no-op (yields ``_NOOP``) when inactive."""
+    if not tracing_active():
+        yield _NOOP
+        return
+    ctx = _CTX.get()
+    if ctx is not None:
+        trace_id, parent_id = ctx
+    else:
+        trace_id, parent_id = new_trace_id(), None
+    live = Span(trace_id, new_span_id(), parent_id, name)
+    if attrs:
+        live.attrs.update(attrs)
+    token = _CTX.set((trace_id, live.span_id))
+    wall = time.time()
+    start = time.perf_counter()
+    try:
+        yield live
+    finally:
+        dur_ms = (time.perf_counter() - start) * 1e3
+        _CTX.reset(token)
+        emit_span({
+            "trace_id": live.trace_id,
+            "span_id": live.span_id,
+            "parent_id": live.parent_id,
+            "name": live.name,
+            "ts": wall,
+            "dur_ms": dur_ms,
+            "pid": os.getpid(),
+            "attrs": live.attrs,
+        })
+
+
+def current_context() -> dict | None:
+    """``{"trace_id", "span_id"}`` of the innermost span, or ``None``."""
+    ctx = _CTX.get()
+    if ctx is None:
+        return None
+    return {"trace_id": ctx[0], "span_id": ctx[1]}
+
+
+@contextmanager
+def adopt_context(trace_id: str, span_id: str | None):
+    """Make a remote span the current parent (server/worker side)."""
+    token = _CTX.set((trace_id, span_id))
+    try:
+        yield
+    finally:
+        _CTX.reset(token)
+
+
+@contextmanager
+def collect_spans():
+    """Collect every span finished inside the block into the yielded list."""
+    spans: list[dict] = []
+    token = _COLLECT.set(spans)
+    try:
+        yield spans
+    finally:
+        _COLLECT.reset(token)
+
+
+def emit_span(record: dict) -> None:
+    """Deliver one finished span to the active collector, else the sink.
+
+    The collector takes precedence: a span collected server-side is going
+    to ride the response home and be re-emitted by the requester, so also
+    writing it to a same-process sink (the loopback topology of tests and
+    ``serve_background``) would record it twice.
+    """
+    collected = _COLLECT.get()
+    if collected is not None:
+        collected.append(record)
+        return
+    sink = _sink
+    if sink is not None:
+        sink(record)
+
+
+def emit_spans(records) -> None:
+    """Re-emit remote span records (from a response frame) locally."""
+    for record in records:
+        if isinstance(record, dict):
+            emit_span(record)
+
+
+def enable_tracing(target) -> None:
+    """Install the process sink: a JSON-lines path or a ``dict -> None``
+    callable.  Replaces any previous sink (closing an owned file)."""
+    global _sink, _sink_file
+    disable_tracing()
+    if callable(target):
+        _sink = target
+        return
+    handle = open(target, "a", encoding="utf-8")
+
+    def _write(record: dict) -> None:
+        handle.write(json.dumps(record, default=str) + "\n")
+        handle.flush()
+
+    _sink_file = handle
+    _sink = _write
+
+
+def disable_tracing() -> None:
+    """Remove the sink (collector-based tracing is unaffected)."""
+    global _sink, _sink_file
+    _sink = None
+    handle, _sink_file = _sink_file, None
+    if handle is not None:
+        handle.close()
+
+
+# ---------------------------------------------------------------------------
+# reading and pretty-printing (the `repro trace` subcommand)
+# ---------------------------------------------------------------------------
+def read_spans(path) -> list[dict]:
+    """Parse a JSON-lines trace file, skipping non-span lines."""
+    spans: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "span_id" in record:
+                spans.append(record)
+    return spans
+
+
+def format_trace_tree(spans: list[dict]) -> str:
+    """Render spans as per-trace ASCII trees, siblings ordered by start."""
+    by_trace: dict[str, list[dict]] = {}
+    for record in spans:
+        by_trace.setdefault(str(record.get("trace_id")), []).append(record)
+    blocks: list[str] = []
+    for trace_id in sorted(by_trace):
+        members = by_trace[trace_id]
+        ids = {record.get("span_id") for record in members}
+        children: dict[object, list[dict]] = {}
+        roots: list[dict] = []
+        for record in members:
+            parent = record.get("parent_id")
+            if parent in ids:
+                children.setdefault(parent, []).append(record)
+            else:
+                roots.append(record)  # orphan parents print as roots
+        for bucket in children.values():
+            bucket.sort(key=lambda r: r.get("ts") or 0)
+        roots.sort(key=lambda r: r.get("ts") or 0)
+        total_ms = sum(r.get("dur_ms") or 0 for r in roots)
+        lines = [
+            f"trace {trace_id}  ({len(members)} span(s), "
+            f"{total_ms:.2f} ms at root)"
+        ]
+
+        def _emit(record: dict, prefix: str, last: bool) -> None:
+            connector = "└─ " if last else "├─ "
+            attrs = record.get("attrs") or {}
+            attr_text = "".join(
+                f" {key}={attrs[key]}" for key in sorted(attrs)
+            )
+            lines.append(
+                f"{prefix}{connector}{record.get('name')}  "
+                f"{record.get('dur_ms', 0):.2f} ms"
+                f"  [pid {record.get('pid', '?')}]{attr_text}"
+            )
+            kids = children.get(record.get("span_id"), [])
+            extension = "   " if last else "│  "
+            for i, kid in enumerate(kids):
+                _emit(kid, prefix + extension, i == len(kids) - 1)
+
+        for i, root in enumerate(roots):
+            _emit(root, "", i == len(roots) - 1)
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -1,0 +1,161 @@
+"""Tests for benchmarks/compare_baselines.py (the CI trajectory gate).
+
+The script is not a package module, so it is imported straight off the
+benchmarks directory.  Directionality is the load-bearing part: a metric's
+suffix decides whether a delta prints as better or worse, and only
+*structural* regressions (a baseline metric that vanished) can fail the
+run — value deltas are host-dependent and stay warn-only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import compare_baselines as cb  # noqa: E402
+
+
+def _write(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return tmp_path / "baselines", tmp_path / "current"
+
+
+class TestDirection:
+    @pytest.mark.parametrize("metric,sign", [
+        ("requests_per_s", +1),
+        ("shared_speedup", +1),
+        ("wall_time_s", -1),
+        ("latency_ms", -1),
+        ("resident_bytes", -1),
+        ("rounds", 0),           # unknown suffix: warn-only, no verdict
+        ("overhead_pct", 0),
+    ])
+    def test_suffix_table(self, metric, sign):
+        assert cb._direction(metric) == sign
+
+
+class TestNumericLeaves:
+    def test_flattens_nested_payloads(self):
+        doc = {
+            "rt": {"shared": {"req_per_s": 10.0}, "requests": 32},
+            "meta": {"smoke": True},  # bools are flags, not metrics
+            "note": "text is ignored",
+        }
+        leaves = cb._numeric_leaves(doc)
+        assert leaves == {
+            "rt.shared.req_per_s": 10.0,
+            "rt.requests": 32.0,
+        }
+
+    def test_empty_doc(self):
+        assert cb._numeric_leaves({}) == {}
+
+
+class TestCompare:
+    def test_matching_files_compare_all_metrics(self, dirs, capsys):
+        baseline, current = dirs
+        _write(baseline, "BENCH_rt.json", {"rt": {"req_per_s": 100.0}})
+        _write(current, "BENCH_rt.json", {"rt": {"req_per_s": 150.0}})
+        compared, missing = cb.compare(baseline, current)
+        assert (compared, missing) == (1, 0)
+        out = capsys.readouterr().out
+        assert "+50.0% (better)" in out
+
+    def test_regression_prints_worse(self, dirs, capsys):
+        baseline, current = dirs
+        _write(baseline, "BENCH_rt.json", {"rt": {"wall_time_s": 1.0}})
+        _write(current, "BENCH_rt.json", {"rt": {"wall_time_s": 2.0}})
+        cb.compare(baseline, current)
+        assert "(worse)" in capsys.readouterr().out
+
+    def test_unknown_suffix_has_no_verdict(self, dirs, capsys):
+        baseline, current = dirs
+        _write(baseline, "BENCH_rt.json", {"rt": {"rounds": 10}})
+        _write(current, "BENCH_rt.json", {"rt": {"rounds": 20}})
+        compared, missing = cb.compare(baseline, current)
+        assert (compared, missing) == (1, 0)
+        out = capsys.readouterr().out
+        assert "(better)" not in out and "(worse)" not in out
+
+    def test_missing_metric_counted(self, dirs, capsys):
+        baseline, current = dirs
+        _write(baseline, "BENCH_rt.json",
+               {"rt": {"req_per_s": 100.0, "wall_time_s": 1.0}})
+        _write(current, "BENCH_rt.json", {"rt": {"req_per_s": 90.0}})
+        compared, missing = cb.compare(baseline, current)
+        assert (compared, missing) == (1, 1)
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_missing_file_counts_every_baseline_metric(self, dirs, capsys):
+        baseline, current = dirs
+        _write(baseline, "BENCH_rt.json",
+               {"rt": {"req_per_s": 100.0, "wall_time_s": 1.0}})
+        current.mkdir()
+        compared, missing = cb.compare(baseline, current)
+        assert (compared, missing) == (0, 2)
+        assert "MISSING: no current BENCH_rt.json" in capsys.readouterr().out
+
+    def test_new_metric_and_new_file_are_informational(self, dirs, capsys):
+        baseline, current = dirs
+        _write(baseline, "BENCH_rt.json", {"rt": {"req_per_s": 100.0}})
+        _write(current, "BENCH_rt.json",
+               {"rt": {"req_per_s": 100.0, "extra_per_s": 5.0}})
+        _write(current, "BENCH_obs.json", {"obs": {"overhead_pct": 1.0}})
+        compared, missing = cb.compare(baseline, current)
+        assert (compared, missing) == (1, 0)
+        out = capsys.readouterr().out
+        assert "NEW" in out
+        assert "NEW FILE" in out and "BENCH_obs.json" in out
+
+    def test_no_baselines_is_a_noop(self, dirs, capsys):
+        baseline, current = dirs
+        baseline.mkdir()
+        current.mkdir()
+        assert cb.compare(baseline, current) == (0, 0)
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_invalid_json_is_skipped_with_warning(self, dirs, capsys):
+        baseline, current = dirs
+        baseline.mkdir()
+        (baseline / "BENCH_bad.json").write_text("{not json")
+        _write(baseline, "BENCH_rt.json", {"rt": {"req_per_s": 1.0}})
+        _write(current, "BENCH_rt.json", {"rt": {"req_per_s": 1.0}})
+        compared, missing = cb.compare(baseline, current)
+        assert (compared, missing) == (1, 0)
+        assert "WARN" in capsys.readouterr().out
+
+
+class TestMain:
+    def _argv(self, dirs):
+        baseline, current = dirs
+        return ["--baseline", str(baseline), "--current", str(current)]
+
+    def test_exit_zero_on_clean_compare(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_rt.json", {"rt": {"req_per_s": 1.0}})
+        _write(current, "BENCH_rt.json", {"rt": {"req_per_s": 2.0}})
+        assert cb.main(self._argv(dirs)) == 0
+
+    def test_value_regressions_never_fail(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_rt.json", {"rt": {"wall_time_s": 1.0}})
+        _write(current, "BENCH_rt.json", {"rt": {"wall_time_s": 100.0}})
+        assert cb.main(self._argv(dirs) + ["--fail-on-missing"]) == 0
+
+    def test_fail_on_missing_gates_structural_loss(self, dirs, capsys):
+        baseline, current = dirs
+        _write(baseline, "BENCH_rt.json", {"rt": {"req_per_s": 1.0}})
+        current.mkdir()
+        assert cb.main(self._argv(dirs)) == 0  # warn-only by default
+        assert cb.main(self._argv(dirs) + ["--fail-on-missing"]) == 1
+        assert "FAIL" in capsys.readouterr().err
