@@ -1,4 +1,4 @@
-"""Experiments RT and OBS — runtime throughput, and telemetry overhead.
+"""Experiments RT, OBS, NK — throughput, telemetry overhead, native kernel.
 
 The serving claim behind `repro.runtime`: once the graph is resident in
 shared memory and workers stay attached, a decomposition request costs its
@@ -22,6 +22,13 @@ per-round BFS phase timers and histogram observations must cost <= 5% of
 throughput when enabled and leave assignments bit-identical, and the
 per-phase timing histograms they populate are emitted into
 ``BENCH_observability.json``.
+
+Experiment NK measures the compiled frontier kernel
+(:mod:`repro.bfs._kernel`) against the pure-numpy hot path: on a ~1M-edge
+graph the native kernel must cut single-request latency by at least 5x,
+while every registered unweighted method stays digest-identical across
+``kernel="python"`` and ``kernel="native"``.  Skipped when the extension
+is not built (a compiler-less install is a supported configuration).
 """
 
 from __future__ import annotations
@@ -29,8 +36,12 @@ from __future__ import annotations
 import os
 import time
 
+import pytest
+
 from repro import telemetry
+from repro.bfs.kernels import native_available
 from repro.core import decompose
+from repro.core.registry import method_names
 from repro.graphs.generators import erdos_renyi
 from repro.runtime.throughput import _digest, measure_throughput
 from repro.telemetry import metrics as _metrics
@@ -220,6 +231,91 @@ def test_observability_overhead():
     )
 
 
+def _nk_workload():
+    """(graph, beta, repeats) for the kernel-latency comparison.
+
+    Full mode uses a dense ~1M-edge Erdos-Renyi graph: big rounds are where
+    the numpy path pays its per-arc multi-pass cost (repeat/cumsum gathers,
+    ``ufunc.at`` priority writes) and where the single fused C sweep shows
+    its constant-factor headroom.  Smoke mode only path-exercises.
+    """
+    if _smoke():
+        return erdos_renyi(400, 0.05, seed=7), 0.3, 2
+    return erdos_renyi(8000, 0.0329, seed=7), 0.3, 5
+
+
+def _best_latency(graph, beta, kernel, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = decompose(graph, beta, seed=1, kernel=kernel)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_native_kernel_latency():
+    """Experiment NK — the compiled kernel is >= 5x, and changes nothing."""
+    if not native_available():
+        pytest.skip("compiled kernel repro.bfs._kernel not built")
+
+    # Digest sweep first: every registered unweighted method, two seeds,
+    # both kernels — identical assignments before any speed claim counts.
+    sweep_graph = erdos_renyi(300, 0.05, seed=2)
+    sweep = {}
+    for method in method_names("unweighted"):
+        for seed in (0, 1):
+            runs = {
+                kernel: decompose(
+                    sweep_graph, 0.3, method=method, seed=seed, kernel=kernel
+                )
+                for kernel in ("python", "native")
+            }
+            digest = {k: _digest([r]) for k, r in runs.items()}
+            assert digest["python"] == digest["native"], (
+                f"kernels disagree: method={method} seed={seed}"
+            )
+            sweep[f"{method}/seed{seed}"] = digest["python"]
+
+    graph, beta, repeats = _nk_workload()
+    python_s, python_res = _best_latency(graph, beta, "python", repeats)
+    native_s, native_res = _best_latency(graph, beta, "native", repeats)
+    assert _digest([python_res]) == _digest([native_res]), (
+        "kernels disagree on the benchmark graph: determinism bug"
+    )
+    speedup = python_s / native_s
+
+    table = Table(
+        f"NK: single-request latency, n={graph.num_vertices} "
+        f"m={graph.num_edges} beta={beta} best-of-{repeats}",
+        ["kernel", "seconds", "req_per_s", "speedup"],
+    )
+    table.add("python", python_s, 1.0 / python_s, 1.0)
+    table.add("native", native_s, 1.0 / native_s, speedup)
+    table.show()
+
+    emit_bench_json(
+        "native_kernel",
+        {
+            "native_kernel": {
+                "n": graph.num_vertices,
+                "m": graph.num_edges,
+                "beta": beta,
+                "python_latency_s": python_s,
+                "native_latency_s": native_s,
+                "speedup": speedup,
+                "methods_digest_checked": len(sweep),
+            }
+        },
+    )
+
+    if not _smoke():
+        assert graph.num_edges >= 1_000_000
+        assert speedup >= 5.0, (
+            f"native kernel only {speedup:.2f}x over the numpy path"
+        )
+
+
 if __name__ == "__main__":
     test_runtime_throughput()
     test_observability_overhead()
+    test_native_kernel_latency()

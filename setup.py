@@ -1,11 +1,57 @@
-"""Legacy setup shim.
+"""Legacy setup shim + optional native-kernel build.
 
 The execution environment has no ``wheel`` package and no network, so PEP 660
 editable installs (which require ``bdist_wheel``) are unavailable; this shim
 lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
 All metadata lives in ``pyproject.toml``.
+
+The one thing declared here is the **optional** C extension
+``repro.bfs._kernel`` (the compiled frontier kernel for the shifted BFS).
+It is marked ``optional`` and the build_ext command below additionally
+swallows compiler failures, so an install on a machine with no C toolchain
+still succeeds — the package then runs on the pure-numpy kernel
+(``kernel="auto"`` degrades silently; see ``repro.bfs.kernels``).
+
+Build in a source checkout with::
+
+    python setup.py build_ext --inplace
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
 
-setup()
+
+class optional_build_ext(build_ext):
+    """Build the native kernel if possible; never fail the install."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # compiler missing / broken toolchain
+            self._warn(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:
+            self._warn(exc)
+
+    @staticmethod
+    def _warn(exc):
+        print(
+            "WARNING: building the optional native kernel repro.bfs._kernel "
+            f"failed ({exc!r}); the package will use the pure-python kernel."
+        )
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.bfs._kernel",
+            sources=["src/repro/bfs/_kernelmod.c"],
+            optional=True,
+            extra_compile_args=["-O3"],
+        )
+    ],
+    cmdclass={"build_ext": optional_build_ext},
+)

@@ -24,6 +24,13 @@ The engine therefore runs synchronous integer rounds.  In round ``t``:
 Given the same shifts, the result provably equals the exact shifted-shortest-
 path assignment computed by :mod:`repro.bfs.dijkstra` — a property the test
 suite checks exhaustively.
+
+Two interchangeable hot-path engines implement the per-round gather/resolve
+phases: the pure-numpy reference and the compiled :mod:`repro.bfs._kernel`
+extension, selected via ``kernel=`` (see :mod:`repro.bfs.kernels`).  They
+are bit-identical — same winners in the same order every round — so the
+switch is purely a performance knob; the differential conformance suite
+pins the equivalence.
 """
 
 from __future__ import annotations
@@ -37,8 +44,11 @@ import repro.telemetry as telemetry
 from repro.errors import ParameterError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 from repro.bfs.frontier import gather_frontier_arcs
+from repro.bfs.kernels import KernelScratch, native_module, resolve_kernel
 
 __all__ = ["DelayedBFSResult", "delayed_multisource_bfs", "resolve_claims"]
+
+_NO_CENTER = np.iinfo(np.int64).max
 
 
 @dataclass(frozen=True, eq=False)
@@ -49,16 +59,20 @@ class DelayedBFSResult:
     ----------
     center:
         Owner of each vertex — the center whose shifted distance is minimal.
-        Every vertex is owned on return (each vertex eventually wakes).
+        Vertices the BFS never claimed hold ``-1``; that happens only when
+        ``center_mask`` excludes their would-be center or ``max_round``
+        cuts the growth short.  With neither restriction every vertex is
+        owned on return (each vertex eventually wakes for itself).
     round_claimed:
-        Integer round in which each vertex was claimed; equals
-        ``⌊start(center)⌋ + hops``.
+        Integer round in which each vertex was claimed (``-1`` when
+        unclaimed); equals ``⌊start(center)⌋ + hops``.
     hops:
         Hop distance from each vertex to its center, along a path contained
-        in the piece (Lemma 4.1).
+        in the piece (Lemma 4.1); ``-1`` for unclaimed vertices.
     num_rounds:
         Wall-clock parallel rounds: ``last claiming round − first waking
-        round + 1``.  This is the BFS depth ∆ of Theorem 1.2.
+        round + 1``, or 0 when no round ran at all (``max_round`` below the
+        first wake).  This is the BFS depth ∆ of Theorem 1.2.
     active_rounds:
         Rounds that processed at least one bid (jumped-over idle rounds are
         free in a real scheduler and excluded here).
@@ -91,13 +105,18 @@ def resolve_claims(
     tie_key: np.ndarray,
     *,
     num_vertices: int | None = None,
+    kernel: str | None = None,
+    scratch: KernelScratch | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Resolve concurrent bids: per vertex, minimum ``(key, center)`` wins.
 
     Returns (winning vertices, their centers), each vertex appearing once in
     ascending order.  This is the CRCW priority-write step of the round.
 
-    Two equivalent implementations, chosen by candidate volume:
+    ``kernel`` picks the engine (``None`` reads the ambient
+    :func:`repro.bfs.kernels.use_kernel` context, default ``"auto"``).  The
+    ``"native"`` engine is a single fused C pass.  The ``"python"`` engine
+    has two equivalent implementations, chosen by candidate volume:
 
     - *semisort*: ``lexsort`` by ``(vertex, key, center)`` and keep the
       first entry per vertex — O(C log C), no per-vertex scratch, best for
@@ -108,33 +127,84 @@ def resolve_claims(
       a sizable fraction of the graph (dense graphs at high β resolve most
       vertices in one round).
 
-    Both apply the identical lexicographic rule, so the winner set is
+    All three apply the identical lexicographic rule, so the winner set is
     bit-identical regardless of which path ran — for *finite* keys, which
     :func:`delayed_multisource_bfs` validates (NaN would poison the
-    scatter path's priority writes).  ``num_vertices`` (the graph's vertex
-    count) enables the scatter path; without it the semisort always runs.
+    priority writes).  ``num_vertices`` (the graph's vertex count) enables
+    the python scatter path and sizes native scratch; without it the
+    semisort always runs on the python engine.
+
+    ``scratch`` is an optional reusable :class:`KernelScratch` (pristine on
+    entry, restored pristine on return) so repeated calls — one per BFS
+    round — stop allocating O(n) arrays each time.
     """
+    if resolve_kernel(kernel) == "native":
+        return _resolve_claims_native(
+            cand_vertex, cand_center, tie_key, num_vertices, scratch
+        )
     if (
         num_vertices is not None
         and cand_vertex.size >= num_vertices
         and cand_vertex.size > 1024
     ):
+        if scratch is None:
+            best_key = np.full(num_vertices, np.inf)
+            best_center = np.full(num_vertices, _NO_CENTER, dtype=np.int64)
+            claimed = np.zeros(num_vertices, dtype=bool)
+        else:
+            best_key = scratch.best_key
+            best_center = scratch.best_center
+            claimed = scratch.claimed
         cand_key = tie_key[cand_center]
-        best_key = np.full(num_vertices, np.inf)
         np.minimum.at(best_key, cand_vertex, cand_key)
         tied = cand_key == best_key[cand_vertex]
-        best_center = np.full(num_vertices, np.iinfo(np.int64).max)
         np.minimum.at(best_center, cand_vertex[tied], cand_center[tied])
-        claimed = np.zeros(num_vertices, dtype=bool)
         claimed[cand_vertex] = True
         winners = np.flatnonzero(claimed).astype(cand_vertex.dtype)
-        return winners, best_center[winners]
+        owners = best_center[winners]
+        if scratch is not None:
+            # Restore the pristine invariant touching only written entries.
+            best_key[cand_vertex] = np.inf
+            best_center[cand_vertex] = _NO_CENTER
+            claimed[winners] = False
+        return winners, owners
     order = np.lexsort((cand_center, tie_key[cand_center], cand_vertex))
     v_sorted = cand_vertex[order]
     c_sorted = cand_center[order]
     first = np.ones(v_sorted.shape[0], dtype=bool)
     first[1:] = v_sorted[1:] != v_sorted[:-1]
     return v_sorted[first], c_sorted[first]
+
+
+def _resolve_claims_native(
+    cand_vertex: np.ndarray,
+    cand_center: np.ndarray,
+    tie_key: np.ndarray,
+    num_vertices: int | None,
+    scratch: KernelScratch | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    native = native_module()
+    cand_v = np.ascontiguousarray(cand_vertex, dtype=np.int64)
+    cand_c = np.ascontiguousarray(cand_center, dtype=np.int64)
+    keys = np.ascontiguousarray(tie_key, dtype=np.float64)
+    if scratch is None:
+        if num_vertices is None:
+            num_vertices = int(cand_v.max()) + 1 if cand_v.size else 0
+        scratch = KernelScratch(num_vertices)
+    count = native.resolve_claims(
+        cand_v,
+        cand_c,
+        keys,
+        scratch.best_key,
+        scratch.best_center,
+        scratch.touched,
+        scratch.winners,
+        scratch.owners,
+    )
+    # astype copies, detaching the results from the reusable scratch.
+    winners = scratch.winners[:count].astype(cand_vertex.dtype)
+    owners = scratch.owners[:count].astype(cand_center.dtype)
+    return winners, owners
 
 
 def delayed_multisource_bfs(
@@ -144,6 +214,7 @@ def delayed_multisource_bfs(
     tie_key: np.ndarray | None = None,
     center_mask: np.ndarray | None = None,
     max_round: int | None = None,
+    kernel: str | None = None,
 ) -> DelayedBFSResult:
     """Run the shifted BFS.
 
@@ -169,9 +240,16 @@ def delayed_multisource_bfs(
     max_round:
         Optional inclusive cap on the round counter; claims that would occur
         in later rounds are abandoned.  Used for radius-capped ball growing.
+    kernel:
+        Hot-path engine: ``"python"`` (numpy), ``"native"`` (compiled
+        extension), ``"auto"`` (native when built, else numpy), or ``None``
+        to read the ambient :func:`repro.bfs.kernels.use_kernel` context.
+        Both engines are bit-identical; ``"native"`` raises
+        :class:`~repro.errors.ParameterError` when the extension is absent.
     """
+    mode = resolve_kernel(kernel)
     n = graph.num_vertices
-    start_time = np.asarray(start_time, dtype=np.float64)
+    start_time = np.ascontiguousarray(start_time, dtype=np.float64)
     if start_time.shape[0] != n:
         raise ParameterError("start_time must have one entry per vertex")
     # NaN slips past a plain `min() < 0` check (NaN comparisons are False)
@@ -182,7 +260,7 @@ def delayed_multisource_bfs(
     if tie_key is None:
         tie_key = start_time - floor_start
     else:
-        tie_key = np.asarray(tie_key, dtype=np.float64)
+        tie_key = np.ascontiguousarray(tie_key, dtype=np.float64)
         if tie_key.shape[0] != n:
             raise ParameterError("tie_key must have one entry per vertex")
         if n and not np.isfinite(tie_key).all():
@@ -221,6 +299,8 @@ def delayed_multisource_bfs(
     n_wake = int(wake_order.shape[0])
     ptr = 0
 
+    native = native_module() if mode == "native" else None
+    scratch = KernelScratch(n)
     frontier = np.zeros(0, dtype=VERTEX_DTYPE)
     frontier_sizes: list[int] = []
     work = 0
@@ -238,53 +318,103 @@ def delayed_multisource_bfs(
         if timed:
             phase_t0 = time.perf_counter()
         # ---- gather wake-up bids for round t --------------------------------
-        wake_hi = ptr
-        while wake_hi < n_wake and wake_rounds_sorted[wake_hi] == t:
-            wake_hi += 1
+        wake_hi = int(np.searchsorted(wake_rounds_sorted, t, side="right"))
         waking = wake_order[ptr:wake_hi]
         ptr = wake_hi
-        waking = waking[center[waking] == -1]
-        work += int(waking.size)
 
-        # ---- gather propagation bids from the previous round's winners ------
-        if frontier.size:
-            arc_src, arc_dst = gather_frontier_arcs(graph, frontier)
-            work += int(arc_src.size)
-            open_mask = center[arc_dst] == -1
-            prop_v = arc_dst[open_mask]
-            prop_c = center[arc_src[open_mask]]
-        else:
-            prop_v = np.zeros(0, dtype=VERTEX_DTYPE)
-            prop_c = np.zeros(0, dtype=np.int64)
-
-        cand_v = np.concatenate([waking, prop_v])
-        cand_c = np.concatenate([waking.astype(np.int64), prop_c])
-        if timed:
-            phase_t1 = time.perf_counter()
-            gather_s += phase_t1 - phase_t0
-
-        if cand_v.size:
-            winners, owners = resolve_claims(
-                cand_v, cand_c, tie_key, num_vertices=n
+        if native is not None:
+            # Fused gather + CRCW bid pass: wake-ups, frontier arc expansion,
+            # and the priority write happen in one C sweep over the scratch.
+            n_touched, arcs, wake_bids = native.scatter_bids(
+                graph.indptr,
+                graph.indices,
+                frontier,
+                waking,
+                center,
+                tie_key,
+                scratch.best_key,
+                scratch.best_center,
+                scratch.touched,
             )
+            work += int(wake_bids) + int(arcs)
             if timed:
-                resolve_s += time.perf_counter() - phase_t1
-            center[winners] = owners
-            round_claimed[winners] = t
-            frontier = winners.astype(VERTEX_DTYPE)
-            frontier_sizes.append(int(winners.size))
+                phase_t1 = time.perf_counter()
+                gather_s += phase_t1 - phase_t0
+            if n_touched:
+                claimed_count = native.commit_winners(
+                    scratch.touched,
+                    n_touched,
+                    scratch.best_key,
+                    scratch.best_center,
+                    center,
+                    round_claimed,
+                    t,
+                    scratch.winners,
+                )
+                if timed:
+                    resolve_s += time.perf_counter() - phase_t1
+                # A view is safe: the next round reads it in scatter_bids
+                # before commit_winners overwrites the buffer.
+                frontier = scratch.winners[:claimed_count]
+            else:
+                claimed_count = 0
+        else:
+            waking = waking[center[waking] == -1]
+            work += int(waking.size)
+
+            # ---- gather propagation bids from the previous winners ----------
+            if frontier.size:
+                arc_src, arc_dst = gather_frontier_arcs(graph, frontier)
+                work += int(arc_src.size)
+                open_mask = center[arc_dst] == -1
+                prop_v = arc_dst[open_mask]
+                prop_c = center[arc_src[open_mask]]
+            else:
+                prop_v = np.zeros(0, dtype=VERTEX_DTYPE)
+                prop_c = np.zeros(0, dtype=np.int64)
+
+            cand_v = np.concatenate([waking, prop_v])
+            cand_c = np.concatenate([waking.astype(np.int64), prop_c])
+            if timed:
+                phase_t1 = time.perf_counter()
+                gather_s += phase_t1 - phase_t0
+
+            claimed_count = 0
+            if cand_v.size:
+                winners, owners = resolve_claims(
+                    cand_v,
+                    cand_c,
+                    tie_key,
+                    num_vertices=n,
+                    kernel="python",
+                    scratch=scratch,
+                )
+                if timed:
+                    resolve_s += time.perf_counter() - phase_t1
+                center[winners] = owners
+                round_claimed[winners] = t
+                frontier = winners.astype(VERTEX_DTYPE)
+                claimed_count = int(winners.size)
+
+        if claimed_count:
+            frontier_sizes.append(int(claimed_count))
             active += 1
             last_round = t
             t += 1
         else:
             frontier = np.zeros(0, dtype=VERTEX_DTYPE)
-            # Fast-forward to the next pending wake-up, skipping vertices that
-            # were claimed since they were scheduled.
-            while ptr < n_wake and center[wake_order[ptr]] != -1:
-                ptr += 1
-            if ptr >= n_wake:
+            # Fast-forward to the next pending wake-up.  Compress the wake
+            # schedule to still-unclaimed entries in one vectorised pass
+            # (the old one-by-one Python skip was O(n) interpreter steps).
+            rest = wake_order[ptr:]
+            rest = rest[center[rest] == -1]
+            if rest.size == 0:
                 break
-            t = int(wake_rounds_sorted[ptr])
+            wake_order = rest
+            wake_rounds_sorted = floor_start[rest]
+            n_wake = int(rest.size)
+            ptr = 0
+            t = int(wake_rounds_sorted[0])
 
         if frontier.size == 0 and ptr >= n_wake:
             break
@@ -296,11 +426,11 @@ def delayed_multisource_bfs(
         center=center,
         round_claimed=round_claimed,
         hops=hops,
-        num_rounds=last_round - first_round + 1,
+        num_rounds=(last_round - first_round + 1) if active else 0,
         active_rounds=active,
         work=work,
         frontier_sizes=frontier_sizes,
         phase_seconds=(
-            {"gather_s": gather_s, "resolve_s": resolve_s} if timed else {}
+            {"gather": gather_s, "resolve": resolve_s} if timed else {}
         ),
     )

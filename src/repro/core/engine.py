@@ -43,6 +43,7 @@ import repro.core.ldd_exact  # noqa: F401
 import repro.core.ldd_sequential  # noqa: F401
 import repro.core.ldd_uniform  # noqa: F401
 import repro.core.weighted  # noqa: F401
+from repro.bfs.kernels import resolve_kernel, use_kernel
 from repro.core.decomposition import Decomposition, PartitionTrace
 from repro.core.registry import MethodSpec, get_method, method_names
 from repro.core.verify import VerificationReport, verify_decomposition
@@ -148,7 +149,8 @@ def decompose(
     **options:
         Per-method options, validated against the registered spec — e.g.
         ``tie_break="permutation"`` for ``bfs``, ``randomize_starts=False``
-        for ``sequential``.  Unknown names raise
+        for ``sequential``, ``kernel="native"`` on any unweighted method to
+        force the compiled BFS engine.  Unknown names raise
         :class:`~repro.errors.ParameterError` listing the accepted options.
 
     Examples
@@ -163,7 +165,14 @@ def decompose(
     """
     spec = _resolve(graph, method)
     kwargs = spec.bind(options)
-    decomposition, trace = spec.func(graph, beta, seed=seed, **kwargs)
+    # The kernel option is consumed here, not forwarded: the engine applies
+    # it as ambient context so implementations (and the BFS layers beneath
+    # them) pick it up without a `kernel=` parameter in every signature.
+    kernel = kwargs.pop("kernel", None)
+    if kernel is not None:
+        resolve_kernel(kernel)  # fail fast: native requested but not built
+    with use_kernel(kernel):
+        decomposition, trace = spec.func(graph, beta, seed=seed, **kwargs)
     report = None
     if validate:
         # Methods without a shift certificate record delta_max = NaN; the

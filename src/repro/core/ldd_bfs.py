@@ -23,10 +23,11 @@ import numpy as np
 
 import repro.telemetry as telemetry
 from repro.bfs.delayed import delayed_multisource_bfs
+from repro.bfs.kernels import resolve_kernel
 from repro.telemetry import metrics as _metrics
 from repro.telemetry import trace as _trace
 from repro.core.decomposition import Decomposition, PartitionTrace
-from repro.core.registry import OptionSpec, register_method
+from repro.core.registry import KERNEL_OPTION, OptionSpec, register_method
 from repro.core.shifts import ShiftAssignment, sample_shifts
 from repro.errors import GraphError
 from repro.graphs.csr import CSRGraph
@@ -52,6 +53,7 @@ _TIE_BREAKS = ("fractional", "permutation", "quantile")
             "permutation, or permutation-position quantile shifts",
             choices=_TIE_BREAKS,
         ),
+        KERNEL_OPTION,
     ),
 )
 def partition_bfs(
@@ -86,7 +88,7 @@ def partition_bfs(
             "repro_bfs_phase_seconds", shifts_s, phase="shifts"
         )
         phases = dict(trace.extra.get("phases", ()))
-        phases["shifts_s"] = shifts_s
+        phases["shifts"] = shifts_s
         trace.extra["phases"] = phases
     return decomposition, trace
 
@@ -143,14 +145,13 @@ def partition_bfs_with_shifts(
         # two histogram updates.
         extra_phases = {
             "phases": {
-                "gather_s": result.phase_seconds.get("gather_s", 0.0),
-                "resolve_s": result.phase_seconds.get("resolve_s", 0.0),
+                "gather": result.phase_seconds.get("gather", 0.0),
+                "resolve": result.phase_seconds.get("resolve", 0.0),
             }
         }
         for phase, seconds in extra_phases["phases"].items():
             _metrics.observe(
-                "repro_bfs_phase_seconds", seconds,
-                phase=phase[:-2],  # strip the `_s` unit suffix
+                "repro_bfs_phase_seconds", seconds, phase=phase
             )
     trace = PartitionTrace(
         method=f"bfs-{shifts.mode}",
@@ -164,6 +165,7 @@ def partition_bfs_with_shifts(
         extra={
             "active_rounds": result.active_rounds,
             "bfs_work": result.work,
+            "kernel": resolve_kernel(None),
             "breakdown": {
                 k: (v.work, v.depth) for k, v in counter.breakdown.items()
             },
@@ -179,6 +181,7 @@ register_method(
     "permutation",
     kind="unweighted",
     description="Section 5 variant - random-permutation tie-breaks",
+    options=(KERNEL_OPTION,),
     pinned={"tie_break": "permutation"},
     func=partition_bfs,
 )
@@ -186,6 +189,7 @@ register_method(
     "quantile",
     kind="unweighted",
     description="Section 5 variant - shifts from permutation positions",
+    options=(KERNEL_OPTION,),
     pinned={"tie_break": "quantile"},
     func=partition_bfs,
 )

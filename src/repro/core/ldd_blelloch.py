@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.bfs.delayed import delayed_multisource_bfs
 from repro.core.decomposition import Decomposition, PartitionTrace
-from repro.core.registry import OptionSpec, register_method
+from repro.core.registry import KERNEL_OPTION, OptionSpec, register_method
 from repro.errors import GraphError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 from repro.graphs.ops import induced_subgraph
@@ -48,6 +48,7 @@ __all__ = ["partition_blelloch"]
             1.0,
             "scale c of the uniform shift range R = c * ln(n) / beta",
         ),
+        KERNEL_OPTION,
     ),
 )
 def partition_blelloch(

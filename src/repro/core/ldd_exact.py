@@ -17,7 +17,7 @@ import time
 
 from repro.bfs.dijkstra import shifted_integer_dijkstra
 from repro.core.decomposition import Decomposition, PartitionTrace
-from repro.core.registry import OptionSpec, register_method
+from repro.core.registry import KERNEL_OPTION, OptionSpec, register_method
 from repro.core.shifts import ShiftAssignment, sample_shifts
 from repro.errors import GraphError
 from repro.graphs.csr import CSRGraph
@@ -38,6 +38,7 @@ __all__ = ["partition_exact", "partition_exact_with_shifts"]
             "round tie resolution, as for method 'bfs'",
             choices=("fractional", "permutation", "quantile"),
         ),
+        KERNEL_OPTION,
     ),
 )
 def partition_exact(

@@ -21,7 +21,7 @@ import time
 import numpy as np
 
 from repro.core.decomposition import Decomposition, PartitionTrace
-from repro.core.registry import OptionSpec, register_method
+from repro.core.registry import KERNEL_OPTION, OptionSpec, register_method
 from repro.errors import GraphError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
 from repro.bfs.frontier import gather_frontier_arcs
@@ -42,6 +42,7 @@ __all__ = ["partition_sequential"]
             True,
             "grow balls from a random vertex order instead of ascending ids",
         ),
+        KERNEL_OPTION,
     ),
 )
 def partition_sequential(

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.decomposition import Decomposition, PartitionTrace
-from repro.core.registry import OptionSpec, register_method
+from repro.core.registry import KERNEL_OPTION, OptionSpec, register_method
 from repro.core.ldd_bfs import partition_bfs_with_shifts
 from repro.core.shifts import shifts_from_values
 from repro.errors import GraphError
@@ -42,6 +42,7 @@ __all__ = ["partition_uniform"]
             1.0,
             "scale c of the uniform shift range c * ln(n) / beta",
         ),
+        KERNEL_OPTION,
     ),
 )
 def partition_uniform(

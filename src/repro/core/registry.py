@@ -29,11 +29,13 @@ from typing import Callable
 
 import numpy as np
 
+from repro.bfs.kernels import KERNEL_CHOICES
 from repro.errors import ParameterError
 
 __all__ = [
     "OptionSpec",
     "MethodSpec",
+    "KERNEL_OPTION",
     "register_method",
     "get_method",
     "method_names",
@@ -198,6 +200,22 @@ class MethodSpec:
         bound.update(self.pinned)
         return bound
 
+
+#: Shared option spec for the shifted-BFS hot-path engine.  Every
+#: unweighted method registers it — the engine consumes the value (it
+#: applies :func:`repro.bfs.kernels.use_kernel` around the method call and
+#: never forwards ``kernel=`` to the implementation), so methods that do
+#: not run the shifted BFS accept and ignore it, keeping batch sweeps over
+#: methods × kernels uniform.
+KERNEL_OPTION = OptionSpec(
+    "kernel",
+    "str",
+    "auto",
+    "shifted-BFS hot-path engine: 'native' (compiled extension, errors "
+    "when not built), 'python' (pure numpy), or 'auto' (native when "
+    "available); bit-identical results either way",
+    choices=KERNEL_CHOICES,
+)
 
 #: name -> MethodSpec; mutate only through register_method.
 _REGISTRY: dict[str, MethodSpec] = {}

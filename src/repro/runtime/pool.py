@@ -37,6 +37,7 @@ from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
+from repro.bfs.kernels import native_available
 from repro.core.decomposition import Decomposition
 from repro.core.engine import PartitionResult, _resolve, decompose
 from repro.core.weighted import WeightedDecomposition
@@ -333,6 +334,7 @@ class DecompositionPool:
                 "graphs": len(self._graphs),
                 "shared_bytes": self.shared_nbytes(),
                 "max_workers": self._max_workers,
+                "native_kernel": native_available(),
                 "closed": self.closed,
             }
 

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._version import __version__
+from repro.bfs.kernels import native_available
 from repro.core.engine import DEFAULT_METHODS, PartitionResult, _resolve
 from repro.core.weighted import WeightedDecomposition
 from repro.errors import ParameterError, ReproError, ServeError
@@ -567,6 +568,7 @@ class DecompositionServer:
             "default_methods": dict(DEFAULT_METHODS),
             "formats": list(GRAPH_FORMATS),
             "graphs": list(self._store.digests),
+            "native_kernel": native_available(),
         }
 
     async def _op_upload(self, message: dict) -> dict:

@@ -67,9 +67,14 @@ class TestResolveClaims:
         cand_v = rng.integers(0, n, count)
         cand_c = rng.integers(0, n, count)
         # Coarse keys make exact ties common, exercising the fallback rule.
+        # kernel="python" is pinned explicitly: under kernel="auto" with the
+        # extension built, both calls would route to the native kernel and
+        # this test would stop comparing the two numpy implementations.
         key = rng.integers(0, 4, n) / 4.0
-        semisort = resolve_claims(cand_v, cand_c, key)
-        scatter = resolve_claims(cand_v, cand_c, key, num_vertices=n)
+        semisort = resolve_claims(cand_v, cand_c, key, kernel="python")
+        scatter = resolve_claims(
+            cand_v, cand_c, key, num_vertices=n, kernel="python"
+        )
         np.testing.assert_array_equal(semisort[0], scatter[0])
         np.testing.assert_array_equal(semisort[1], scatter[1])
 
@@ -183,7 +188,26 @@ class TestCenterMaskAndCap:
             g, start, center_mask=mask, max_round=3
         )
         assert np.all(res.center[:4] == 0)
+        # Unclaimed vertices follow the -1 convention in every per-vertex
+        # array, not just `center` — a capped run leaves them untouched.
         assert np.all(res.center[4:] == -1)
+        assert np.all(res.hops[4:] == -1)
+        assert np.all(res.round_claimed[4:] == -1)
+
+    @pytest.mark.parametrize("kernel", ["python", "auto"])
+    def test_cap_below_first_wake_reports_zero_rounds(self, kernel):
+        """Regression: `max_round` below the earliest wake used to report
+        num_rounds=1 even though the round loop never executed."""
+        g = path_graph(6)
+        start = np.full(6, 7.5)  # first wake in round 7
+        res = delayed_multisource_bfs(g, start, max_round=3, kernel=kernel)
+        assert res.num_rounds == 0
+        assert res.active_rounds == 0
+        assert res.work == 0
+        assert res.frontier_sizes == []
+        assert np.all(res.center == -1)
+        assert np.all(res.hops == -1)
+        assert np.all(res.round_claimed == -1)
 
 
 class TestEquivalenceWithExactDijkstra:

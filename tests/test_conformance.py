@@ -19,6 +19,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bfs.delayed import delayed_multisource_bfs, resolve_claims
+from repro.bfs.kernels import native_available
 from repro.core.engine import decompose, decompose_many
 from repro.core.registry import method_names
 from repro.core.weighted import WeightedDecomposition
@@ -141,3 +143,100 @@ def test_validation_reports_survive_the_pool():
     report = batch.runs[0].result.report
     assert report is not None
     assert report == serial.report
+
+
+# ---------------------------------------------------------------------------
+# python kernel ≡ native kernel
+#
+# The compiled extension is a second implementation of the same hot path;
+# like the executors above, *which kernel ran* must never change *what was
+# computed*.  Skipped (not silently passed) when the extension is not built.
+# ---------------------------------------------------------------------------
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="compiled kernel repro.bfs._kernel not built"
+)
+
+
+@needs_native
+@pytest.mark.parametrize("seed", SEEDS[:2])
+@pytest.mark.parametrize("method", method_names("unweighted"))
+def test_kernels_conform_across_methods(method, seed):
+    for name, graph in FAMILIES.items():
+        python = decompose(
+            graph, BETA, method=method, seed=seed, kernel="python"
+        )
+        native = decompose(
+            graph, BETA, method=method, seed=seed, kernel="native"
+        )
+        _assert_identical(
+            python, native,
+            f"kernel method={method} family={name} seed={seed}",
+        )
+
+
+@needs_native
+@pytest.mark.parametrize("restriction", ["center_mask", "max_round", "both"])
+def test_kernels_conform_under_mask_and_cap(restriction):
+    """The restricted BFS modes (batched centers, radius-capped growth) take
+    different branches in both kernels; every result field must still match,
+    including the -1 unowned convention."""
+    for name, graph in FAMILIES.items():
+        n = graph.num_vertices
+        rng = np.random.default_rng(n)
+        start = rng.random(n) * 5
+        kwargs = {}
+        if restriction in ("center_mask", "both"):
+            mask = rng.random(n) < 0.25
+            mask[int(rng.integers(n))] = True
+            kwargs["center_mask"] = mask
+        if restriction in ("max_round", "both"):
+            kwargs["max_round"] = 3
+        python = delayed_multisource_bfs(graph, start, kernel="python", **kwargs)
+        native = delayed_multisource_bfs(graph, start, kernel="native", **kwargs)
+        context = f"family={name} restriction={restriction}"
+        np.testing.assert_array_equal(python.center, native.center, context)
+        np.testing.assert_array_equal(
+            python.round_claimed, native.round_claimed, context
+        )
+        np.testing.assert_array_equal(python.hops, native.hops, context)
+        assert python.num_rounds == native.num_rounds, context
+        assert python.active_rounds == native.active_rounds, context
+        assert python.work == native.work, context
+        assert python.frontier_sizes == native.frontier_sizes, context
+
+
+@needs_native
+@pytest.mark.parametrize(
+    "num_vertices,count",
+    [
+        # Straddle the `count >= num_vertices` scatter trigger ...
+        (2000, 1999),
+        (2000, 2000),
+        (2000, 2001),
+        # ... and the 1024 floor below which the semisort always runs.
+        (500, 1023),
+        (500, 1024),
+        (500, 1025),
+    ],
+)
+def test_resolve_claims_boundaries_across_kernels(num_vertices, count):
+    """At the scatter-vs-semisort boundary the python engine switches
+    implementation; both sides of the switch and the native kernel must
+    produce identical winner sets (coarse keys force exact ties)."""
+    rng = np.random.default_rng(num_vertices * 31 + count)
+    cand_v = rng.integers(0, num_vertices, count)
+    cand_c = rng.integers(0, num_vertices, count)
+    tie_key = rng.integers(0, 8, num_vertices) / 8.0
+    semisort = resolve_claims(cand_v, cand_c, tie_key, kernel="python")
+    chosen = resolve_claims(
+        cand_v, cand_c, tie_key, num_vertices=num_vertices, kernel="python"
+    )
+    native = resolve_claims(
+        cand_v, cand_c, tie_key, num_vertices=num_vertices, kernel="native"
+    )
+    for label, (winners, owners) in (
+        ("python path switch", chosen),
+        ("native kernel", native),
+    ):
+        np.testing.assert_array_equal(semisort[0], winners, label)
+        np.testing.assert_array_equal(semisort[1], owners, label)
