@@ -1,0 +1,381 @@
+"""Experiment OOC — graphs bigger than RAM: memmap substrate end to end.
+
+Three phases over the out-of-core stack:
+
+1. **streaming ingest** — an edge-list file goes through
+   :func:`repro.graphs.io.stream_edge_list_to_mmap` (counting-sort passes
+   straight into the memmap layout, never an in-RAM edge array); reports
+   MB/s and edges/s, and checks the streamed graph's content digest
+   equals the in-memory parser's.
+
+2. **bounded-RSS decomposition** — a circulant graph whose CSR bytes
+   exceed an address-space budget is built analytically *into* the memmap
+   layout (the builder itself is row-blocked), then decomposed in a child
+   process whose ``RLIMIT_DATA`` is half the graph bytes.  A governor
+   thread polls ``/proc/self/statm`` and drops clean file-backed pages
+   (``MADV_DONTNEED``) whenever residency crosses 30% of the graph, so
+   the file is paged through, not held.  Full mode asserts the child's
+   ``ru_maxrss`` high-water stayed under **0.5× the graph bytes** while
+   the graph itself is 2× the anonymous-memory budget — the
+   impossible-in-RAM configuration.  Smoke mode digest-compares the
+   memmap child's result against an in-RAM decomposition instead.
+
+3. **chunked upload** — the same memmap graph is shipped to a *stock*
+   ``DecompositionServer`` (default 512 MiB ``MAX_FRAME_BYTES``) through
+   ``upload_begin``/``upload_chunk``/``upload_commit``; full mode pushes
+   ≥ 1 GB of logical payload that could never fit one frame, and reports
+   end-to-end MB/s (client hash + wire + server spool + server re-hash +
+   chunked validation).
+
+``REPRO_BENCH_SMOKE=1`` (or ``--smoke``) shrinks every phase to a
+seconds-fast path-exercise and skips the RSS floor (CI runs this under
+``ulimit -v`` as an extra belt).  Results land in ``BENCH_outofcore.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.core.engine import decompose
+from repro.graphs import load_graph, stream_edge_list_to_mmap
+from repro.graphs.mmapcsr import MmapCSR, MmapLayout
+from repro.graphs.csr import CSRGraph
+from repro.serve import ServeClient, graph_digest, serve_background
+
+from common import Table, bench_scale, emit_bench_json
+
+#: decomposition parameters of the bounded-RSS phase.
+OOC_BETA = 0.2
+OOC_SEED = 7
+
+#: residency fraction at which the child's governor drops file pages.
+GOVERNOR_FRACTION = 0.25
+#: the full-mode gate: peak RSS must stay under this fraction of the
+#: graph's CSR bytes.
+RSS_GATE_FRACTION = 0.5
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _sizes():
+    """(ingest n/deg, circulant n/strides) for the current mode."""
+    if _smoke():
+        return (2_000, 8), (4_096, 8)
+    scale = bench_scale()
+    # 2^20 vertices x 128 arcs/vertex x 8 bytes ~= 1.07 GB of indices:
+    # the CSR exceeds 1 GB and is 2x the child's RLIMIT_DATA budget.
+    return (200_000 * scale, 16), (1 << 20, 64)
+
+
+# ----------------------------------------------------------------------
+# phase 1: streaming edge-list ingest
+# ----------------------------------------------------------------------
+def _write_edge_list(path: Path, n: int, deg: int, seed: int = 0) -> int:
+    """A reproducible simple edge list (ring + random chords); returns m."""
+    rng = np.random.default_rng(seed)
+    ring = np.stack(
+        [np.arange(n, dtype=np.int64), (np.arange(n, dtype=np.int64) + 1) % n],
+        axis=1,
+    )
+    extra = rng.integers(0, n, size=(n * (deg - 2) // 2, 2))
+    edges = np.concatenate([ring, extra], axis=0)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    _, keep = np.unique(lo * n + hi, return_index=True)
+    edges = edges[np.sort(keep)]
+    with path.open("w") as fh:
+        fh.write(f"{n} {edges.shape[0]}\n")
+        np.savetxt(fh, edges, fmt="%d")
+    return int(edges.shape[0])
+
+
+def phase_ingest(workdir: Path, table: Table) -> dict:
+    n, deg = _sizes()[0]
+    text_path = workdir / "ingest.edges"
+    out_path = workdir / "ingest.rgm"
+    m = _write_edge_list(text_path, n, deg)
+    text_bytes = text_path.stat().st_size
+    t0 = time.perf_counter()
+    wrapper = stream_edge_list_to_mmap(str(text_path), str(out_path))
+    elapsed = time.perf_counter() - t0
+    try:
+        streamed_digest = graph_digest(wrapper.graph)
+        graph_bytes = wrapper.nbytes()
+    finally:
+        wrapper.close()
+        os.unlink(out_path)
+    in_memory = load_graph(text_path, format="edges")
+    assert graph_digest(in_memory) == streamed_digest, (
+        "streamed ingest digest diverged from the in-memory parser"
+    )
+    mb_s = text_bytes / max(elapsed, 1e-9) / 1e6
+    table.add("ingest", f"{n}v/{m}e", f"{text_bytes/1e6:.1f} MB",
+              f"{elapsed:.2f}s", f"{mb_s:.1f} MB/s")
+    return {
+        "num_vertices": n,
+        "num_edges": m,
+        "text_bytes": int(text_bytes),
+        "graph_bytes": int(graph_bytes),
+        "ingest_s": elapsed,
+        "ingest_mb_per_s": mb_s,
+        "digest_matches_in_memory": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 2: circulant builder + rlimited decomposition child
+# ----------------------------------------------------------------------
+def _circulant_strides(num_strides: int) -> np.ndarray:
+    return np.arange(1, num_strides + 1, dtype=np.int64)
+
+
+def build_circulant_mmap(path: str, n: int, num_strides: int) -> MmapCSR:
+    """Write the circulant graph C(n; 1..K) directly into a memmap layout.
+
+    Every vertex ``v`` neighbours ``(v ± s) mod n`` for each stride — a
+    regular graph of degree ``2K`` whose rows are computable analytically,
+    so the builder streams row blocks into the file and never holds more
+    than one block in RAM.
+    """
+    strides = _circulant_strides(num_strides)
+    if n <= 2 * int(strides[-1]):
+        raise ValueError("n must exceed twice the largest stride")
+    deg = 2 * num_strides
+    layout = MmapLayout.create(
+        path,
+        CSRGraph,
+        [
+            ("indptr", (n + 1,), np.dtype(np.int64)),
+            ("indices", (n * deg,), np.dtype(np.int64)),
+        ],
+    )
+    offsets = strides.reshape(1, -1)
+    block_rows = max(1, (4 * 1024 * 1024) // deg)
+    for v0 in range(0, n, block_rows):
+        v1 = min(n, v0 + block_rows)
+        rows = np.arange(v0, v1, dtype=np.int64).reshape(-1, 1)
+        neigh = np.concatenate(
+            [(rows - offsets) % n, (rows + offsets) % n], axis=1
+        )
+        neigh.sort(axis=1)
+        views = layout.views
+        views["indices"][v0 * deg : v1 * deg] = neigh.reshape(-1)
+        views["indptr"][v0 : v1 + 1] = np.arange(
+            v0, v1 + 1, dtype=np.int64
+        ) * deg
+        del views
+        # Written pages accumulate in this process's RSS (and hence in
+        # the rlimited child's inherited high-water mark at fork) unless
+        # dropped; the data itself lives on in the page cache.
+        layout.advise_dontneed()
+    return layout.open_graph()
+
+
+#: the rlimited child: decompose a memmap graph under an anonymous-memory
+#: budget with a page-dropping governor; report digest + peak RSS as JSON.
+_CHILD_SRC = """
+import hashlib, json, os, resource, sys, threading
+import numpy as np
+from repro.core.engine import decompose
+from repro.graphs.mmapcsr import MmapCSR
+
+path, data_limit, beta, seed = (
+    sys.argv[1], int(sys.argv[2]), float(sys.argv[3]), int(sys.argv[4])
+)
+governor_limit = int(sys.argv[5])
+if data_limit > 0:
+    resource.setrlimit(resource.RLIMIT_DATA, (data_limit, data_limit))
+
+# Start cold: the parent just wrote the file, so its pages sit hot in the
+# page cache and would minor-fault into RSS at memory speed -- far faster
+# than any governor can react.  fsync + FADV_DONTNEED evicts them, so
+# page-ins happen at disk speed and residency is governable.
+fd = os.open(path, os.O_RDONLY)
+os.fsync(fd)
+os.posix_fadvise(fd, 0, 0, os.POSIX_FADV_DONTNEED)
+os.close(fd)
+
+wrapper = MmapCSR.open(path)
+stop = threading.Event()
+advised = 0
+
+def governor():
+    global advised
+    page = os.sysconf("SC_PAGE_SIZE")
+    while not stop.wait(0.02):
+        try:
+            with open("/proc/self/statm") as fh:
+                rss = int(fh.read().split()[1]) * page
+        except OSError:
+            return
+        if rss > governor_limit:
+            wrapper.advise_dontneed()
+            advised += 1
+
+thread = threading.Thread(target=governor, daemon=True)
+thread.start()
+result = decompose(wrapper.graph, beta, seed=seed)
+stop.set()
+thread.join()
+dec = result.decomposition
+sha = hashlib.sha256()
+for arr in (dec.center, dec.hops):
+    sha.update(np.ascontiguousarray(arr).tobytes())
+maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "result_digest": sha.hexdigest(),
+    "num_pieces": int(dec.num_pieces),
+    "peak_rss_bytes": int(maxrss_kb) * 1024,
+    "governor_advises": advised,
+}))
+"""
+
+
+def phase_decompose(
+    workdir: Path, table: Table
+) -> tuple[dict, MmapCSR, Path]:
+    n, num_strides = _sizes()[1]
+    path = workdir / "circulant.rgm"
+    t0 = time.perf_counter()
+    wrapper = build_circulant_mmap(str(path), n, num_strides)
+    build_s = time.perf_counter() - t0
+    graph_bytes = wrapper.nbytes()
+    # Drop the parent's mapping before the child starts: pages mapped by
+    # any process are ineligible for eviction, and the child's cold-start
+    # fadvise must actually empty the page cache for the RSS gate to
+    # measure paging, not cache hits.  Reopened below for the upload phase.
+    wrapper.close()
+    data_limit = graph_bytes // 2 if not _smoke() else 0
+    governor_limit = int(graph_bytes * GOVERNOR_FRACTION)
+    env = {
+        **os.environ,
+        "PYTHONPATH": os.pathsep.join(
+            p
+            for p in (
+                str(Path(repro.__file__).resolve().parents[1]),
+                os.environ.get("PYTHONPATH", ""),
+            )
+            if p
+        ),
+    }
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SRC, str(path), str(data_limit),
+         str(OOC_BETA), str(OOC_SEED), str(governor_limit)],
+        capture_output=True, text=True, env=env,
+    )
+    child_s = time.perf_counter() - t0
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"rlimited decomposition child failed:\n{proc.stderr}"
+        )
+    child = json.loads(proc.stdout)
+    wrapper = MmapCSR.open(str(path))
+    rss_fraction = child["peak_rss_bytes"] / graph_bytes
+    payload = {
+        "num_vertices": n,
+        "degree": 2 * num_strides,
+        "graph_bytes": int(graph_bytes),
+        "build_s": build_s,
+        "decompose_s": child_s,
+        "data_rlimit_bytes": int(data_limit),
+        "peak_rss_bytes": int(child["peak_rss_bytes"]),
+        "peak_rss_fraction": rss_fraction,
+        "governor_advises": child["governor_advises"],
+        "num_pieces": child["num_pieces"],
+    }
+    table.add("decompose", f"{n}v deg{2*num_strides}",
+              f"{graph_bytes/1e9:.2f} GB", f"{child_s:.2f}s",
+              f"RSS {rss_fraction:.2f}x")
+    if _smoke():
+        # Small enough to decompose in RAM: the memmap child must be
+        # bit-identical (same digest over center/hops).
+        local = decompose(wrapper.graph, OOC_BETA, seed=OOC_SEED)
+        sha = hashlib.sha256()
+        for arr in (local.decomposition.center, local.decomposition.hops):
+            sha.update(np.ascontiguousarray(arr).tobytes())
+        assert sha.hexdigest() == child["result_digest"], (
+            "memmap child decomposition diverged from in-RAM"
+        )
+        payload["digest_matches_in_ram"] = True
+    else:
+        assert graph_bytes > data_limit, "graph must exceed the budget"
+        assert rss_fraction < RSS_GATE_FRACTION, (
+            f"peak RSS {child['peak_rss_bytes']} is "
+            f"{rss_fraction:.2f}x the graph bytes "
+            f"(gate: < {RSS_GATE_FRACTION}x)"
+        )
+        payload["rss_gate_asserted"] = True
+    return payload, wrapper, path
+
+
+# ----------------------------------------------------------------------
+# phase 3: chunked upload against a stock server
+# ----------------------------------------------------------------------
+def phase_upload(wrapper: MmapCSR, table: Table) -> dict:
+    graph = wrapper.graph
+    total_bytes = wrapper.nbytes()
+    with serve_background() as server:
+        with ServeClient(*server.address, timeout=600.0) as client:
+            t0 = time.perf_counter()
+            response = client.upload_chunked(graph)
+            elapsed = time.perf_counter() - t0
+            assert response["ok"] and response["complete"]
+            assert response["num_vertices"] == graph.num_vertices
+            stats = client.stats()
+            backing_mmap = stats["pool"].get("backing_mmap", 0)
+    mb_s = total_bytes / max(elapsed, 1e-9) / 1e6
+    table.add("upload", f"{graph.num_vertices}v",
+              f"{total_bytes/1e9:.2f} GB", f"{elapsed:.2f}s",
+              f"{mb_s:.1f} MB/s")
+    payload = {
+        "payload_bytes": int(total_bytes),
+        "upload_s": elapsed,
+        "upload_mb_per_s": mb_s,
+        "server_backing_mmap": int(backing_mmap),
+    }
+    if not _smoke():
+        assert total_bytes >= 1_000_000_000, (
+            "full mode must push at least 1 GB through the chunked ops"
+        )
+        payload["gigabyte_asserted"] = True
+    return payload
+
+
+def main() -> None:
+    if "--smoke" in sys.argv:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    table = Table(
+        "OOC out-of-core substrate",
+        ["phase", "size", "bytes", "time", "rate/gate"],
+    )
+    results: dict[str, object] = {"smoke": _smoke()}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ooc-") as tmp:
+        workdir = Path(tmp)
+        results["ingest"] = phase_ingest(workdir, table)
+        decompose_payload, wrapper, path = phase_decompose(workdir, table)
+        results["decompose"] = decompose_payload
+        try:
+            results["chunked_upload"] = phase_upload(wrapper, table)
+        finally:
+            wrapper.close()
+            os.unlink(path)
+    table.show()
+    emit_bench_json("outofcore", results)
+
+
+if __name__ == "__main__":
+    main()

@@ -79,14 +79,30 @@ __all__ = ["ClusterRouter", "router_background"]
 
 logger = logging.getLogger(__name__)
 
-#: ops the router forwards to the digest's owning shard verbatim.
+#: ops the router forwards to the digest's owning shard verbatim.  The
+#: chunked upload sequence is included: its ``upload_id`` *is* the graph
+#: digest (content addressing), so every chunk of one transfer lands on
+#: the shard that will own the graph, and a later ``decompose`` by digest
+#: is a warm-store hit there.
 _GRAPH_OPS = (
     "decompose",
     "spanner",
     "lowstretch_tree",
     "hierarchy",
     "discard",
+    "upload_begin",
+    "upload_chunk",
+    "upload_commit",
+    "upload_abort",
 )
+
+
+def _routing_digest(fields: dict) -> str | None:
+    """The digest a graph op routes on; chunked ops key by ``upload_id``."""
+    key = fields.get("digest")
+    if not isinstance(key, str):
+        key = fields.get("upload_id")
+    return key if isinstance(key, str) else None
 
 #: request had no ``id`` field (``None`` would be a legal id value).
 _NO_ID = object()
@@ -622,14 +638,14 @@ class ClusterRouter:
                     return
                 # Data plane: a graph op keyed by digest alone rides the
                 # owner's relay channel — restamped in place, no task.
-                if (
-                    fields.get("op") in _GRAPH_OPS
+                relay_key = (
+                    _routing_digest(fields)
+                    if fields.get("op") in _GRAPH_OPS
                     and "graph" not in fields
-                    and isinstance(fields.get("digest"), str)
-                ):
-                    channel = self._relays[
-                        self._ring.owner(fields["digest"])
-                    ]
+                    else None
+                )
+                if relay_key is not None:
+                    channel = self._relays[self._ring.owner(relay_key)]
                     if channel.protocol == protocol and channel.submit(
                         body, fields, writer
                     ):
@@ -763,11 +779,11 @@ class ClusterRouter:
     async def _route_graph_op(
         self, message: dict, client_protocol: int
     ) -> dict | bytes:
-        digest = message.get("digest")
-        if not isinstance(digest, str):
+        digest = _routing_digest(message)
+        if digest is None:
             raise ParameterError(
-                f"{message.get('op')} needs a string 'digest' (upload "
-                f"the graph first)"
+                f"{message.get('op')} needs a string 'digest' or "
+                f"'upload_id' to route on (upload the graph first)"
             )
         label = self._ring.owner(digest)
         forwarded = {

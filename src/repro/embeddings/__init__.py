@@ -1,13 +1,18 @@
 """Probabilistic tree embeddings from hierarchical shifted decompositions."""
 
 from repro.embeddings.distortion import DistortionReport, measure_distortion
-from repro.embeddings.hierarchy import Hierarchy, hierarchical_decomposition
+from repro.embeddings.hierarchy import (
+    Hierarchy,
+    contracted_hierarchy,
+    hierarchical_decomposition,
+)
 from repro.embeddings.hst import HST, build_hst
 
 __all__ = [
     "DistortionReport",
     "measure_distortion",
     "Hierarchy",
+    "contracted_hierarchy",
     "hierarchical_decomposition",
     "HST",
     "build_hst",

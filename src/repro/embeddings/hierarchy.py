@@ -20,11 +20,19 @@ import numpy as np
 
 from repro.errors import GraphError, ParameterError
 from repro.graphs.csr import VERTEX_DTYPE, CSRGraph
-from repro.graphs.ops import connected_components, induced_subgraph
+from repro.graphs.ops import (
+    connected_components,
+    induced_subgraph,
+    quotient_graph,
+)
 from repro.pipeline import DecomposeRequest, resolve_provider
 from repro.rng.seeding import SeedLike, derive_seed, ensure_int_seed
 
-__all__ = ["Hierarchy", "hierarchical_decomposition"]
+__all__ = [
+    "Hierarchy",
+    "contracted_hierarchy",
+    "hierarchical_decomposition",
+]
 
 
 @dataclass(frozen=True, eq=False)
@@ -149,6 +157,88 @@ def hierarchical_decomposition(
 
     levels.reverse()
     scales.reverse()
+    return Hierarchy(labels=levels, scale=scales)
+
+
+def contracted_hierarchy(
+    graph: CSRGraph,
+    *,
+    seed: SeedLike = None,
+    beta_max: float = 0.9,
+    radius_constant: float = 1.0,
+    method: str = "auto",
+    provider=None,
+    max_concurrent: int | None = None,
+    **options: object,
+) -> Hierarchy:
+    """Build a laminar hierarchy bottom-up by decompose-and-contract.
+
+    The out-of-core counterpart of :func:`hierarchical_decomposition`:
+    instead of carving induced subgraphs out of the full graph at every
+    level (each an ``O(m)`` materialisation), each level decomposes the
+    *quotient* of the one below it and contracts.  The full graph is
+    touched exactly once — at level 1, where the quotient streams over a
+    memmap backing — and every later level works on a graph no larger
+    than the previous quotient, so peak RSS is bounded by the first
+    contraction, not the input (the Ceccarello–Pucci level-scheduling
+    idea applied to the AKPW/HST stack).
+
+    Levels carry the same scales as the top-down builder (``2^ℓ`` target
+    radius, ``β_ℓ = min(β_max, c·ln n / 2^ℓ)``), level 0 is singletons,
+    and the top level is one piece per connected component.  The family
+    is laminar by construction — level ``ℓ`` groups whole level-``ℓ−1``
+    pieces.  The label *content* differs from the top-down builder (the
+    algorithms are different); determinism and backing-independence are
+    the contract: the same seed yields bit-identical hierarchies on RAM-
+    and memmap-backed copies of the same graph.
+    """
+    if not 0 < beta_max < 1:
+        raise ParameterError("beta_max must be in (0, 1)")
+    if radius_constant <= 0:
+        raise ParameterError("radius_constant must be positive")
+    n = graph.num_vertices
+    if n == 0:
+        raise GraphError("cannot build a hierarchy on the empty graph")
+    provider = resolve_provider(provider)
+    root_seed = ensure_int_seed(seed)
+
+    num_mid_levels = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    levels: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
+    scales: list[float] = [1.0]
+    cur = graph
+    # cum[v] = current quotient vertex holding original vertex v.
+    cum = np.arange(n, dtype=np.int64)
+    for lvl in range(1, num_mid_levels + 1):
+        target_radius = float(2**lvl)
+        if cur.num_edges:
+            if lvl == num_mid_levels:
+                # Top level: whole connected components, matching the
+                # top-down builder's contract (cur is a quotient by now,
+                # or the input itself — either way cc streams if memmap).
+                labels_cur = connected_components(cur).astype(np.int64)
+            else:
+                beta = min(
+                    beta_max,
+                    radius_constant * np.log(max(n, 2)) / target_radius,
+                )
+                request = DecomposeRequest(
+                    cur,
+                    beta,
+                    method=method,
+                    seed=derive_seed(
+                        root_seed, "chierarchy", provider.graph_key(cur)
+                    ),
+                    options=dict(options),
+                )
+                outcome = provider.decompose_batch(
+                    [request], max_concurrent=max_concurrent
+                )
+                labels_cur = outcome[0].decomposition.labels.astype(np.int64)
+            quotient = quotient_graph(cur, labels_cur)
+            cum = labels_cur[cum]
+            cur = quotient.graph
+        levels.append(cum.copy())
+        scales.append(target_radius)
     return Hierarchy(labels=levels, scale=scales)
 
 

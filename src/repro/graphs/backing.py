@@ -1,0 +1,76 @@
+"""Registry mapping graph *instances* to their storage backing kind.
+
+A :class:`~repro.graphs.csr.CSRGraph` does not know where its arrays live —
+plain RAM, a ``multiprocessing.shared_memory`` segment, or a memory-mapped
+file.  The runtime needs to know (the pool picks a zero-copy registration
+path for memmap graphs instead of copying them into shared memory, and
+``pool.stats()`` / the serve ``hello`` advertise the resident kinds), so
+the wrappers that create non-RAM graphs register them here.
+
+Keys are object identities, not graph values: ``CSRGraph.__eq__`` is
+content-based, and two equal-but-distinct graphs (one in RAM, one mmapped)
+must not alias each other's backing record.  Entries self-evict through a
+``weakref`` callback when the graph is collected.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any
+
+__all__ = ["BACKING_KINDS", "register_backing", "backing_kind", "backing_handle"]
+
+#: Every backing kind a graph may advertise, sorted.
+BACKING_KINDS = ("mmap", "ram", "shm")
+
+_LOCK = threading.Lock()
+#: id(graph) -> (weakref to graph, kind, handle).  The weakref both keeps
+#: the entry honest (ids are recycled; the ref must still point at the
+#: same object) and evicts it when the graph dies.
+_REGISTRY: dict[int, tuple[weakref.ref, str, Any]] = {}
+
+
+def register_backing(graph, kind: str, handle: Any = None) -> None:
+    """Record that ``graph``'s arrays live in a ``kind`` backing.
+
+    ``handle`` optionally carries the owning wrapper (e.g. a
+    :class:`~repro.graphs.mmapcsr.MmapCSR`) so the runtime can reach
+    lifecycle operations like unlink-on-discard without a parallel map.
+    """
+    if kind not in BACKING_KINDS:
+        raise ValueError(f"unknown backing kind {kind!r}; expected one of {BACKING_KINDS}")
+    key = id(graph)
+
+    def _evict(_ref, _key=key, _lock=_LOCK, _registry=_REGISTRY) -> None:
+        # default-arg bindings: module globals may already be None when
+        # this fires during interpreter shutdown
+        with _lock:
+            _registry.pop(_key, None)
+
+    with _LOCK:
+        _REGISTRY[key] = (weakref.ref(graph, _evict), kind, handle)
+
+
+def _lookup(graph) -> tuple[str, Any] | None:
+    entry = _REGISTRY.get(id(graph))
+    if entry is None:
+        return None
+    ref, kind, handle = entry
+    if ref() is not graph:  # stale id reuse — treat as unregistered
+        return None
+    return kind, handle
+
+
+def backing_kind(graph) -> str:
+    """The backing kind of ``graph``: ``"ram"`` unless registered otherwise."""
+    with _LOCK:
+        entry = _lookup(graph)
+    return entry[0] if entry is not None else "ram"
+
+
+def backing_handle(graph) -> Any:
+    """The wrapper registered alongside ``graph``'s backing, or ``None``."""
+    with _LOCK:
+        entry = _lookup(graph)
+    return entry[1] if entry is not None else None

@@ -24,6 +24,7 @@ raw ``ValueError`` from ``int()``/``float()``.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -44,6 +45,9 @@ __all__ = [
     "from_json",
     "parse_graph",
     "load_graph",
+    "stream_graph_to_mmap",
+    "stream_edge_list_to_mmap",
+    "stream_metis_to_mmap",
 ]
 
 #: Format names accepted by :func:`parse_graph` / :func:`load_graph`.
@@ -542,3 +546,583 @@ def load_graph(path: str | Path, format: str = "auto") -> CSRGraph:
     except OSError as exc:
         raise GraphError(f"cannot read graph file {path}: {exc}") from None
     return parse_graph(text, format, source=str(path))
+
+
+# ---------------------------------------------------------------------------
+# streaming out-of-core ingest
+# ---------------------------------------------------------------------------
+# The streaming readers build ``indptr``/``indices`` *directly inside a
+# memmap file* (the RGM1 format of :mod:`repro.graphs.mmapcsr`) via chunked
+# counting-sort passes, so a graph whose text or CSR form exceeds RAM
+# ingests with bounded resident memory:
+#
+#   edge list — pass A counts degrees per chunk of parsed rows, a chunked
+#   cumsum turns them into offsets, pass B re-streams the file and scatters
+#   arcs through a per-vertex cursor file, pass C sorts + dedups each row
+#   block-wise and compacts in place (write offset never passes the read
+#   offset, so no second copy of ``indices`` exists);
+#
+#   METIS — adjacency rows arrive grouped by vertex, so arcs append in row
+#   order in one pass, followed by the same sort/dedup/compact pass and a
+#   chunked binary-search symmetry check.
+#
+# The result is bit-identical to the in-memory parsers (same digest): a
+# row-local sort + dedup after a dup-tolerant counting sort yields exactly
+# the sorted unique neighbour lists :func:`~repro.graphs.build.from_edges`
+# produces.  Weighted inputs are rejected — parse those with
+# :func:`load_graph`.
+
+#: Parsed rows per text chunk (bounds Python-object overhead).
+_STREAM_CHUNK_LINES = 1 << 18
+#: Arcs per in-RAM block in the sort/dedup/compact and cumsum passes.
+_STREAM_CHUNK_ARCS = 1 << 22
+#: First vertex count that no longer fits the int32 parse scratch.
+_INT32_LIMIT = 2**31
+
+
+def _id_dtype(num_vertices: int, *, limit: int = _INT32_LIMIT):
+    """Scratch dtype for parsed vertex ids: int32 until ``n`` forces int64.
+
+    ``limit`` exists for tests to force the promotion path on small
+    graphs; the final CSR arrays are always ``VERTEX_DTYPE`` regardless.
+    """
+    return np.int32 if num_vertices < limit else np.int64
+
+
+def _streaming_weighted_error(source: str, line_no: int) -> GraphError:
+    return GraphError(
+        f"{source}:{line_no}: weighted inputs are not supported by the "
+        "streaming ingest — parse with load_graph() instead"
+    )
+
+
+def _edge_data_lines(path: str, source: str):
+    """Yield ``(line_no, tokens)`` for edge-list data lines, streaming."""
+    try:
+        fh = open(path, "r")
+    except OSError as exc:
+        raise GraphError(f"cannot read graph file {path}: {exc}") from None
+    with fh:
+        for line_no, raw in enumerate(fh, start=1):
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            if stripped.startswith(("#", "%")):
+                if stripped == _WEIGHTED_MARKER:
+                    raise _streaming_weighted_error(source, line_no)
+                continue
+            yield line_no, stripped.split()
+
+
+def _ids_from_tokens(
+    tokens: list, line_nos, dtype, *, source: str, what: str
+) -> np.ndarray:
+    """Vectorised ``int(token)`` with a slow path that names the bad line."""
+    try:
+        return np.array(tokens, dtype=dtype)
+    except (ValueError, OverflowError):
+        pass
+    if dtype is not np.int64:
+        # Ids overflowing int32 still parse; the range check rejects them
+        # (or accepts them, when the caller's n really is that large).
+        try:
+            return np.array(tokens, dtype=np.int64)
+        except (ValueError, OverflowError):
+            pass
+    for tok, line_no in zip(tokens, np.asarray(line_nos).tolist()):
+        _parse_int(tok, source=source, line_no=int(line_no), what=what)
+    raise GraphError(f"{source}: unparseable integer token")  # pragma: no cover
+
+
+def _check_endpoints(
+    u: np.ndarray, v: np.ndarray, line_nos: np.ndarray, n: int, source: str
+) -> None:
+    bad = (u < 0) | (u >= n) | (v < 0) | (v >= n)
+    if bad.any():
+        i = int(np.argmax(bad))
+        raise GraphError(
+            f"{source}:{int(line_nos[i])}: edge endpoint out of range "
+            f"0..{n - 1}"
+        )
+    loops = u == v
+    if loops.any():
+        i = int(np.argmax(loops))
+        raise GraphError(
+            f"{source}:{int(line_nos[i])}: self-loops are not allowed"
+        )
+
+
+def _edge_chunks(
+    path: str, source: str, n: int, dtype, chunk_lines: int
+):
+    """Parsed ``(u, v)`` chunks of an edge-list body, validated."""
+    lines = _edge_data_lines(path, source)
+    next(lines)  # header, already validated by the caller
+    us: list = []
+    vs: list = []
+    lns: list = []
+
+    def _flush():
+        line_nos = np.asarray(lns, dtype=np.int64)
+        u = _ids_from_tokens(
+            us, line_nos, dtype, source=source, what="edge endpoint"
+        )
+        v = _ids_from_tokens(
+            vs, line_nos, dtype, source=source, what="edge endpoint"
+        )
+        _check_endpoints(u, v, line_nos, n, source)
+        return u, v
+
+    for line_no, tokens in lines:
+        if len(tokens) != 2:
+            if len(tokens) == 3:
+                raise _streaming_weighted_error(source, line_no)
+            raise GraphError(
+                f"{source}:{line_no}: expected 2 columns ('u v'), "
+                f"got {len(tokens)}"
+            )
+        us.append(tokens[0])
+        vs.append(tokens[1])
+        lns.append(line_no)
+        if len(lns) >= chunk_lines:
+            yield _flush()
+            us, vs, lns = [], [], []
+    if lns:
+        yield _flush()
+
+
+def _rebuild_indptr(
+    indptr_mm: np.ndarray, deg, n: int, chunk: int
+) -> None:
+    """Chunked exclusive cumsum of ``deg`` into ``indptr_mm`` (len n+1)."""
+    indptr_mm[0] = 0
+    running = 0
+    for s in range(0, n, chunk):
+        e = min(s + chunk, n)
+        block = np.cumsum(deg[s:e], dtype=np.int64) + running
+        indptr_mm[1 + s : 1 + e] = block
+        running = int(block[-1])
+
+
+def _sort_dedup_compact(
+    indptr_mm: np.ndarray,
+    indices_mm: np.ndarray,
+    new_deg: np.ndarray,
+    n: int,
+    chunk_arcs: int,
+) -> int:
+    """Sort + dedup every adjacency row, compacting ``indices`` in place.
+
+    Rows are processed in blocks of at most ``chunk_arcs`` arcs (a single
+    over-budget row still forms its own block).  Compaction writes at an
+    offset that never exceeds the block's read offset, and each block is
+    copied to RAM first, so the pass needs no second ``indices`` file.
+    Per-row surviving degrees land in ``new_deg``; returns total kept arcs.
+    """
+    write_pos = 0
+    v0 = 0
+    total = int(indptr_mm[n])
+    while v0 < n:
+        p0 = int(indptr_mm[v0])
+        v1 = int(np.searchsorted(indptr_mm, p0 + chunk_arcs, side="right")) - 1
+        v1 = min(max(v1, v0 + 1), n)
+        p1 = int(indptr_mm[v1])
+        block = indices_mm[p0:p1].copy()
+        rowdeg = np.diff(indptr_mm[v0 : v1 + 1])
+        rows = np.repeat(np.arange(v1 - v0, dtype=np.int64), rowdeg)
+        order = np.lexsort((block, rows))
+        svals = block[order]
+        srows = rows[order]
+        if svals.shape[0]:
+            keep = np.empty(svals.shape[0], dtype=bool)
+            keep[0] = True
+            keep[1:] = (srows[1:] != srows[:-1]) | (svals[1:] != svals[:-1])
+            svals = svals[keep]
+            srows = srows[keep]
+        kept = int(svals.shape[0])
+        indices_mm[write_pos : write_pos + kept] = svals
+        new_deg[v0:v1] = np.bincount(srows, minlength=v1 - v0)
+        write_pos += kept
+        v0 = v1
+    assert write_pos <= total
+    return write_pos
+
+
+def _check_symmetry_mmap(
+    indptr_mm: np.ndarray,
+    indices_mm: np.ndarray,
+    n: int,
+    chunk_arcs: int,
+    source: str,
+) -> None:
+    """Chunked symmetry check over sorted adjacency rows.
+
+    For every arc ``v → u`` in a block, a vectorised binary search probes
+    row ``u`` for ``v``; only the probed pages fault in, so the resident
+    set stays bounded by the block size (plus evictable page cache).
+    """
+    total = int(indptr_mm[n])
+    if total == 0:
+        return
+    v0 = 0
+    while v0 < n:
+        p0 = int(indptr_mm[v0])
+        v1 = int(np.searchsorted(indptr_mm, p0 + chunk_arcs, side="right")) - 1
+        v1 = min(max(v1, v0 + 1), n)
+        p1 = int(indptr_mm[v1])
+        dst = indices_mm[p0:p1].copy()
+        rowdeg = np.diff(indptr_mm[v0 : v1 + 1])
+        src = np.repeat(np.arange(v0, v1, dtype=np.int64), rowdeg)
+        lo = indptr_mm[dst]
+        hi = indptr_mm[dst + 1]
+        ends = hi.copy()
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo + hi) >> 1
+            vals = indices_mm[np.minimum(mid, total - 1)]
+            go_right = active & (vals < src)
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+        found = lo < ends
+        probe = indices_mm[np.minimum(lo, total - 1)]
+        ok = found & (probe == src)
+        if not ok.all():
+            raise GraphError(
+                f"{source}: adjacency is not symmetric — some edge is "
+                "listed in only one direction"
+            )
+        v0 = v1
+
+
+def stream_edge_list_to_mmap(
+    path: str | Path,
+    out_path: str | Path,
+    *,
+    owns_file: bool = False,
+    chunk_lines: int = _STREAM_CHUNK_LINES,
+    chunk_arcs: int = _STREAM_CHUNK_ARCS,
+    id_limit: int = _INT32_LIMIT,
+):
+    """Stream an edge-list file into a memmap CSR (``RGM1``) at ``out_path``.
+
+    Returns the opened :class:`~repro.graphs.mmapcsr.MmapCSR`; its graph is
+    bit-identical (same :func:`~repro.serve.store.graph_digest`) to
+    ``read_edge_list(path)`` without ever materialising the edge list in
+    RAM.  Weighted inputs raise — use :func:`load_graph` for those.
+    """
+    from repro.graphs.mmapcsr import MmapLayout
+
+    source = str(path)
+    lines = _edge_data_lines(source, source)
+    try:
+        header_no, header = next(lines)
+    except StopIteration:
+        raise GraphError(f"{source}: empty edge-list input") from None
+    lines.close()
+    if len(header) != 2:
+        raise GraphError(
+            f"{source}:{header_no}: bad edge-list header — expected "
+            f"'n m', got {' '.join(header)!r}"
+        )
+    n = _parse_int(
+        header[0], source=source, line_no=header_no, what="vertex count"
+    )
+    m = _parse_int(
+        header[1], source=source, line_no=header_no, what="edge count"
+    )
+    _check_header_counts(n, m, source=source, line_no=header_no)
+    dtype = _id_dtype(n, limit=id_limit)
+    layout = MmapLayout.create(
+        str(out_path),
+        CSRGraph,
+        [("indptr", (n + 1,), VERTEX_DTYPE), ("indices", (2 * m,), VERTEX_DTYPE)],
+    )
+    cursor_path = f"{out_path}.cursors.tmp"
+    try:
+        views = layout.views
+        indptr_mm = views["indptr"]
+        indices_mm = views["indices"]
+        # Pass A — count degrees into indptr[1:], then prefix-sum.
+        deg = indptr_mm[1:]
+        count = 0
+        for u, v in _edge_chunks(source, source, n, dtype, chunk_lines):
+            np.add.at(deg, u, 1)
+            np.add.at(deg, v, 1)
+            count += int(u.shape[0])
+            if count > m:
+                raise GraphError(
+                    f"{source}: edge count mismatch — header says {m}, "
+                    "found more"
+                )
+        if count != m:
+            raise GraphError(
+                f"{source}: edge count mismatch — header says {m}, "
+                f"found {count}"
+            )
+        _rebuild_indptr(indptr_mm, indptr_mm[1:], n, chunk_arcs)
+        # Pass B — re-stream and scatter both arc directions through
+        # per-vertex cursors kept in a scratch file.
+        scratch = np.memmap(
+            cursor_path, dtype=np.int64, mode="w+", shape=(max(n, 1),)
+        )
+        for s in range(0, n, chunk_arcs):
+            e = min(s + chunk_arcs, n)
+            scratch[s:e] = indptr_mm[s:e]
+        for u, v in _edge_chunks(source, source, n, dtype, chunk_lines):
+            src = np.concatenate([u, v])
+            dst = np.concatenate([v, u])
+            order = np.argsort(src, kind="stable")
+            ssrc = src[order]
+            sdst = dst[order]
+            uniq, start, cnt = np.unique(
+                ssrc, return_index=True, return_counts=True
+            )
+            ranks = np.arange(ssrc.shape[0], dtype=np.int64) - np.repeat(
+                start, cnt
+            )
+            indices_mm[scratch[ssrc] + ranks] = sdst
+            scratch[uniq] += cnt
+        # Pass C — per-row sort + dedup, compact, rebuild offsets.
+        kept = _sort_dedup_compact(indptr_mm, indices_mm, scratch, n, chunk_arcs)
+        _rebuild_indptr(indptr_mm, scratch, n, chunk_arcs)
+        del deg, scratch, views, indptr_mm, indices_mm
+        layout.shrink("indices", kept)
+    except BaseException:
+        layout.close()
+        for leftover in (cursor_path, str(out_path)):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+        raise
+    try:
+        os.unlink(cursor_path)
+    except OSError:  # pragma: no cover - scratch never created for n=0
+        pass
+    return layout.open_graph(owns_file=owns_file)
+
+
+def _metis_physical_lines(path: str, source: str):
+    """Yield ``(line_no, stripped_line)`` skipping ``%`` comments only."""
+    try:
+        fh = open(path, "r")
+    except OSError as exc:
+        raise GraphError(f"cannot read graph file {path}: {exc}") from None
+    with fh:
+        for line_no, raw in enumerate(fh, start=1):
+            stripped = raw.strip()
+            if stripped.startswith("%"):
+                continue
+            yield line_no, stripped
+
+
+def stream_metis_to_mmap(
+    path: str | Path,
+    out_path: str | Path,
+    *,
+    owns_file: bool = False,
+    chunk_lines: int = _STREAM_CHUNK_LINES,
+    chunk_arcs: int = _STREAM_CHUNK_ARCS,
+    id_limit: int = _INT32_LIMIT,
+):
+    """Stream a METIS adjacency file into a memmap CSR at ``out_path``.
+
+    Adjacency rows arrive grouped by vertex, so arcs append in row order in
+    a single pass; a block-wise sort/dedup pass and a chunked binary-search
+    symmetry check replace the in-memory parser's whole-array checks.
+    Result digest matches ``read_metis(path)``.  ``fmt=001`` (weighted)
+    inputs raise — use :func:`load_graph` for those.
+    """
+    from repro.graphs.mmapcsr import MmapLayout
+
+    source = str(path)
+    lines = _metis_physical_lines(source, source)
+    header_entry = next(
+        ((no, line.split()) for no, line in lines if line), None
+    )
+    if header_entry is None:
+        raise GraphError(f"{source}: empty METIS input")
+    header_no, header = header_entry
+    if len(header) < 2 or len(header) > 4:
+        raise GraphError(
+            f"{source}:{header_no}: bad METIS header — expected "
+            f"'n m [fmt]', got {' '.join(header)!r}"
+        )
+    n = _parse_int(
+        header[0], source=source, line_no=header_no, what="vertex count"
+    )
+    m = _parse_int(
+        header[1], source=source, line_no=header_no, what="edge count"
+    )
+    _check_header_counts(n, m, source=source, line_no=header_no)
+    fmt = header[2] if len(header) > 2 else "0"
+    if fmt.lstrip("0") == "1":
+        raise _streaming_weighted_error(source, header_no)
+    if fmt.lstrip("0") != "":
+        raise GraphError(
+            f"{source}:{header_no}: unsupported METIS fmt code {fmt!r} — "
+            "only unweighted (0) and edge-weighted (001) graphs are "
+            "supported"
+        )
+    dtype = _id_dtype(n, limit=id_limit)
+    layout = MmapLayout.create(
+        str(out_path),
+        CSRGraph,
+        [("indptr", (n + 1,), VERTEX_DTYPE), ("indices", (2 * m,), VERTEX_DTYPE)],
+    )
+    scratch_path = f"{out_path}.degrees.tmp"
+    try:
+        views = layout.views
+        indptr_mm = views["indptr"]
+        indices_mm = views["indices"]
+        arc_cap = 2 * m
+        arc_ptr = 0
+        vertex = 0
+        row_tokens: list = []
+        row_counts: list = []
+        row_lines: list = []
+
+        def _flush():
+            nonlocal arc_ptr, vertex
+            if not row_counts:
+                return
+            counts = np.asarray(row_counts, dtype=np.int64)
+            repeated_lines = np.repeat(
+                np.asarray(row_lines, dtype=np.int64), counts
+            )
+            ids = _ids_from_tokens(
+                row_tokens, repeated_lines, dtype,
+                source=source, what="neighbor id",
+            )
+            ids = ids - 1  # METIS is 1-indexed
+            bad = (ids < 0) | (ids >= n)
+            if bad.any():
+                i = int(np.argmax(bad))
+                raise GraphError(
+                    f"{source}:{int(repeated_lines[i])}: neighbor id out "
+                    f"of range 1..{n}"
+                )
+            row_of = np.repeat(
+                np.arange(vertex, vertex + counts.shape[0], dtype=np.int64),
+                counts,
+            )
+            loops = ids == row_of
+            if loops.any():
+                i = int(np.argmax(loops))
+                raise GraphError(
+                    f"{source}:{int(repeated_lines[i])}: self-loops are "
+                    "not allowed"
+                )
+            if arc_ptr + ids.shape[0] > arc_cap:
+                raise GraphError(
+                    f"{source}: adjacency lists hold more than the "
+                    f"{arc_cap} arcs the header admits"
+                )
+            indices_mm[arc_ptr : arc_ptr + ids.shape[0]] = ids
+            offsets = arc_ptr + np.cumsum(counts)
+            indptr_mm[vertex + 1 : vertex + 1 + counts.shape[0]] = offsets
+            arc_ptr = int(offsets[-1])
+            vertex += int(counts.shape[0])
+            row_tokens.clear()
+            row_counts.clear()
+            row_lines.clear()
+
+        body_rows = 0
+        for line_no, stripped in lines:
+            if body_rows >= n:
+                if not stripped:
+                    continue  # trailing blank lines are tolerated
+                raise GraphError(
+                    f"{source}:{line_no}: more than {n} vertex lines"
+                )
+            tokens = stripped.split()
+            row_tokens.extend(tokens)
+            row_counts.append(len(tokens))
+            row_lines.append(line_no)
+            body_rows += 1
+            if len(row_counts) >= chunk_lines or len(row_tokens) >= chunk_lines * 4:
+                _flush()
+        _flush()
+        if body_rows < n:
+            raise GraphError(
+                f"{source}: truncated METIS input — expected {n} vertex "
+                f"lines, found {body_rows}"
+            )
+        scratch = np.memmap(
+            scratch_path, dtype=np.int64, mode="w+", shape=(max(n, 1),)
+        )
+        kept = _sort_dedup_compact(indptr_mm, indices_mm, scratch, n, chunk_arcs)
+        _rebuild_indptr(indptr_mm, scratch, n, chunk_arcs)
+        if kept % 2 or kept // 2 != m:
+            raise GraphError(
+                f"{source}: METIS edge count mismatch — header says {m}, "
+                f"parsed {kept // 2 if kept % 2 == 0 else kept / 2}"
+            )
+        _check_symmetry_mmap(indptr_mm, indices_mm, n, chunk_arcs, source)
+        del scratch, views, indptr_mm, indices_mm
+        layout.shrink("indices", kept)
+    except BaseException:
+        layout.close()
+        for leftover in (scratch_path, str(out_path)):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+        raise
+    try:
+        os.unlink(scratch_path)
+    except OSError:
+        pass
+    return layout.open_graph(owns_file=owns_file)
+
+
+def stream_graph_to_mmap(
+    path: str | Path,
+    out_path: str | Path,
+    format: str = "auto",
+    *,
+    owns_file: bool = False,
+    chunk_lines: int = _STREAM_CHUNK_LINES,
+    chunk_arcs: int = _STREAM_CHUNK_ARCS,
+    id_limit: int = _INT32_LIMIT,
+):
+    """Stream a graph file into a memmap CSR, dispatching on format.
+
+    The out-of-core counterpart of :func:`load_graph`: only the text
+    formats with a streaming reader are supported (``edges``, ``metis``).
+    ``format="auto"`` maps the file extension first and then sniffs the
+    header: three or more header tokens mean METIS, two mean an edge list
+    (files valid as both should pass an explicit ``format``, as the
+    two-parser cross-check of :func:`parse_graph` would defeat streaming).
+    """
+    source = str(path)
+    if format == "auto":
+        format = format_for_path(path)
+    if format == "auto":
+        lines = _metis_physical_lines(source, source)
+        header_entry = next(
+            (
+                (no, line.split())
+                for no, line in lines
+                if line and not line.startswith("#")
+            ),
+            None,
+        )
+        lines.close()
+        if header_entry is None:
+            raise GraphError(f"{source}: empty graph input")
+        format = "metis" if len(header_entry[1]) >= 3 else "edges"
+    kwargs = dict(
+        owns_file=owns_file, chunk_lines=chunk_lines,
+        chunk_arcs=chunk_arcs, id_limit=id_limit,
+    )
+    if format == "edges":
+        return stream_edge_list_to_mmap(path, out_path, **kwargs)
+    if format == "metis":
+        return stream_metis_to_mmap(path, out_path, **kwargs)
+    raise ParameterError(
+        f"streaming ingest supports formats 'edges' and 'metis', "
+        f"got {format!r}"
+    )

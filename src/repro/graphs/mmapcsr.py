@@ -1,0 +1,559 @@
+"""Memory-mapped CSR graphs — decompose graphs bigger than RAM.
+
+Mirror of :mod:`repro.runtime.shm`'s trick at file scope: a graph's defining
+arrays (the :meth:`~repro.graphs.csr.CSRGraph.csr_arrays` contract) are laid
+out back-to-back in one file behind a small self-describing header, and
+:class:`MmapCSR` rebuilds a fully functional graph as NumPy views straight
+into the mapping.  The kernel pages data in on demand and evicts it under
+memory pressure, so peak RSS is bounded by the working set — with the
+quotient-level drivers in :mod:`repro.lowstretch.akpw`, that is the cluster
+quotient, not the input.
+
+File format (``RGM1``)::
+
+    bytes 0..4    magic  b"RGM1"
+    bytes 4..8    little-endian u32: JSON header length
+    bytes 8..     JSON header, space-padded to HEADER_RESERVE (4096) bytes
+    bytes 4096..  array payload, each array 8-aligned at its header offset
+
+The header reserve is fixed so the payload base never moves when the header
+is rewritten — the streaming ingest in :mod:`repro.graphs.io` shrinks the
+``indices`` array in place after deduplication, and the chunked-upload spool
+in :mod:`repro.serve.server` writes payload bytes before the final header
+is known-good.
+
+Lifecycle: ``owns_file=True`` wrappers unlink the backing file on
+:meth:`~MmapCSR.close` (server spool files die with their store entry);
+wrappers over user-provided files never do.  Unlinking while views are
+alive is safe on POSIX — the mapping keeps the inode until the last view
+is collected.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError, ParameterError
+from repro.graphs.backing import register_backing
+from repro.graphs.csr import CSRGraph
+from repro.graphs.weighted import WeightedCSRGraph
+
+__all__ = [
+    "HEADER_RESERVE",
+    "MmapArraySpec",
+    "MmapGraphDescriptor",
+    "MmapLayout",
+    "MmapCSR",
+    "attach_mmap",
+    "save_mmap_graph",
+    "open_mmap_graph",
+    "validate_csr_chunked",
+]
+
+MAGIC = b"RGM1"
+#: Fixed header region; payload offsets are absolute and never move.
+HEADER_RESERVE = 4096
+_ALIGN = 8
+
+#: Graph classes a memmap file may declare (mirror of the serve upload
+#: whitelist — the header names a class, never pickles one).
+_GRAPH_CLASSES: dict[str, type] = {
+    "CSRGraph": CSRGraph,
+    "WeightedCSRGraph": WeightedCSRGraph,
+}
+
+
+@dataclass(frozen=True)
+class MmapArraySpec:
+    """Placement of one defining array inside the mapped file."""
+
+    name: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = int(np.prod(self.shape)) if self.shape else 1
+        return count * np.dtype(self.dtype).itemsize
+
+    def view(self, base: np.ndarray) -> np.ndarray:
+        """Zero-copy view of this array over the whole-file uint8 mapping."""
+        raw = base[self.offset : self.offset + self.nbytes]
+        return raw.view(np.dtype(self.dtype)).reshape(self.shape)
+
+
+@dataclass(frozen=True)
+class MmapGraphDescriptor:
+    """Picklable reattachment token for a memmap graph (worker side).
+
+    Shape-compatible with :class:`~repro.runtime.shm.SharedGraphDescriptor`
+    where the pool cares: ``segment`` identifies the backing for the worker
+    cache's staleness check, ``nbytes`` is the payload size, ``graph_type``
+    rebuilds the right class.
+    """
+
+    path: str
+    graph_type: type
+    arrays: tuple[MmapArraySpec, ...]
+    nbytes: int
+    file_bytes: int
+
+    @property
+    def segment(self) -> str:
+        return f"mmap:{self.path}:{self.file_bytes}"
+
+    @property
+    def weighted(self) -> bool:
+        return issubclass(self.graph_type, WeightedCSRGraph)
+
+
+def _encode_header(class_name: str, specs: tuple[MmapArraySpec, ...]) -> bytes:
+    doc = {
+        "class": class_name,
+        "arrays": [
+            {
+                "name": s.name,
+                "offset": s.offset,
+                "shape": list(s.shape),
+                "dtype": s.dtype,
+            }
+            for s in specs
+        ],
+        "nbytes": sum(s.nbytes for s in specs),
+    }
+    payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+    header = MAGIC + struct.pack("<I", len(payload)) + payload
+    if len(header) > HEADER_RESERVE:
+        raise GraphError(
+            f"memmap graph header of {len(header)} bytes exceeds the "
+            f"{HEADER_RESERVE}-byte reserve"
+        )
+    return header + b" " * (HEADER_RESERVE - len(header))
+
+
+def _decode_header(path: str) -> tuple[type, tuple[MmapArraySpec, ...]]:
+    with open(path, "rb") as fh:
+        head = fh.read(8)
+        if len(head) < 8 or head[:4] != MAGIC:
+            raise GraphError(
+                f"{path}: not a memmap graph file (bad magic; expected "
+                f"{MAGIC!r})"
+            )
+        (length,) = struct.unpack("<I", head[4:8])
+        if length > HEADER_RESERVE - 8:
+            raise GraphError(f"{path}: corrupt memmap graph header")
+        payload = fh.read(length)
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except ValueError as exc:
+        raise GraphError(f"{path}: corrupt memmap graph header: {exc}") from None
+    class_name = doc.get("class")
+    if class_name not in _GRAPH_CLASSES:
+        raise GraphError(
+            f"{path}: unsupported graph class {class_name!r} in memmap header"
+        )
+    specs = tuple(
+        MmapArraySpec(
+            name=a["name"],
+            offset=int(a["offset"]),
+            shape=tuple(int(d) for d in a["shape"]),
+            dtype=str(a["dtype"]),
+        )
+        for a in doc["arrays"]
+    )
+    return _GRAPH_CLASSES[class_name], specs
+
+
+def _layout_specs(
+    arrays: list[tuple[str, tuple[int, ...], np.dtype]],
+) -> tuple[MmapArraySpec, ...]:
+    specs: list[MmapArraySpec] = []
+    offset = HEADER_RESERVE
+    for name, shape, dtype in arrays:
+        dt = np.dtype(dtype).newbyteorder("<")
+        if offset % _ALIGN:
+            offset += _ALIGN - offset % _ALIGN
+        spec = MmapArraySpec(
+            name=name, offset=offset, shape=tuple(shape), dtype=dt.str
+        )
+        specs.append(spec)
+        offset += spec.nbytes
+    return tuple(specs)
+
+
+class MmapLayout:
+    """A memmap graph file opened for writing (ingest / upload spool).
+
+    :meth:`create` sizes the file for the declared arrays and writes the
+    header up front, :attr:`views` hands out writable slices, and
+    :meth:`shrink` lets the *last* array lose tail elements (streaming
+    ingest over-allocates ``indices`` for duplicate arcs, then compacts).
+    Call :meth:`close` when done; reopen read-only with :class:`MmapCSR`.
+    """
+
+    def __init__(self, path: str, graph_type: type, specs) -> None:
+        self.path = str(path)
+        self.graph_type = graph_type
+        self.specs = tuple(specs)
+        end = self.specs[-1].offset + self.specs[-1].nbytes if self.specs else HEADER_RESERVE
+        with open(self.path, "wb") as fh:
+            fh.write(_encode_header(graph_type.__name__, self.specs))
+            fh.truncate(end)
+        self._base: np.ndarray | None = np.memmap(self.path, dtype=np.uint8, mode="r+")
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        graph_type: type,
+        arrays: list[tuple[str, tuple[int, ...], np.dtype]],
+    ) -> "MmapLayout":
+        if graph_type.__name__ not in _GRAPH_CLASSES:
+            raise ParameterError(
+                f"memmap layout supports {sorted(_GRAPH_CLASSES)}, got "
+                f"{graph_type.__name__}"
+            )
+        return cls(path, graph_type, _layout_specs(arrays))
+
+    @property
+    def views(self) -> dict[str, np.ndarray]:
+        """Writable zero-copy views of every declared array."""
+        if self._base is None:
+            raise ParameterError("memmap layout is closed")
+        return {s.name: s.view(self._base) for s in self.specs}
+
+    @property
+    def payload_offset(self) -> int:
+        """File offset of the first payload byte (fixed at the reserve)."""
+        return HEADER_RESERVE
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(s.nbytes for s in self.specs)
+
+    def shrink(self, name: str, length: int) -> None:
+        """Truncate the trailing 1-D array ``name`` to ``length`` elements."""
+        if self._base is None:
+            raise ParameterError("memmap layout is closed")
+        last = self.specs[-1]
+        if last.name != name or len(last.shape) != 1:
+            raise ParameterError(
+                f"only the trailing 1-D array may shrink, not {name!r}"
+            )
+        if length > last.shape[0]:
+            raise ParameterError(
+                f"cannot grow {name!r} from {last.shape[0]} to {length}"
+            )
+        new_last = MmapArraySpec(
+            name=last.name, offset=last.offset, shape=(int(length),),
+            dtype=last.dtype,
+        )
+        self.specs = self.specs[:-1] + (new_last,)
+        self.flush()
+        self._release()
+        with open(self.path, "r+b") as fh:
+            fh.write(_encode_header(self.graph_type.__name__, self.specs))
+            fh.truncate(new_last.offset + new_last.nbytes)
+        self._base = np.memmap(self.path, dtype=np.uint8, mode="r+")
+
+    def flush(self) -> None:
+        if self._base is not None:
+            self._base.flush()
+
+    def advise_dontneed(self) -> bool:
+        """Drop the writer's resident pages; written data stays intact.
+
+        For a shared file mapping the dirty state lives in the page
+        cache, not the process, so unmapping loses nothing — streaming
+        writers call this between blocks to keep their peak RSS bounded
+        by one block instead of the whole file.  Returns whether the
+        advice could be issued.
+        """
+        raw = getattr(self._base, "_mmap", None)
+        if raw is None or not hasattr(raw, "madvise"):
+            return False
+        raw.madvise(mmap.MADV_DONTNEED)
+        return True
+
+    def _release(self) -> None:
+        self._base = None
+
+    def close(self) -> None:
+        self.flush()
+        self._release()
+
+    def open_graph(self, *, owns_file: bool = False) -> "MmapCSR":
+        """Finish writing and reopen the file as a read-only graph."""
+        self.close()
+        return MmapCSR.open(self.path, owns_file=owns_file)
+
+
+class MmapCSR:
+    """A CSR graph whose arrays are views into a memory-mapped file.
+
+    Construct with :meth:`open` (parent side, from a file on disk) or
+    :meth:`attach` (worker side, from a descriptor); :attr:`graph` is a
+    regular :class:`~repro.graphs.csr.CSRGraph` whose arrays the kernel
+    pages in on demand, so every algorithm in the library runs on it
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        descriptor: MmapGraphDescriptor,
+        graph: CSRGraph,
+        *,
+        owns_file: bool,
+    ) -> None:
+        self._base: np.ndarray | None = base
+        self._descriptor = descriptor
+        self._graph: CSRGraph | None = graph
+        self._owns_file = owns_file
+
+    @classmethod
+    def open(cls, path, *, owns_file: bool = False) -> "MmapCSR":
+        """Map ``path`` read-only and rebuild its graph zero-copy."""
+        path = str(path)
+        graph_type, specs = _decode_header(path)
+        file_bytes = os.path.getsize(path)
+        end = max((s.offset + s.nbytes for s in specs), default=HEADER_RESERVE)
+        if file_bytes < end:
+            raise GraphError(
+                f"{path}: file holds {file_bytes} bytes but the header "
+                f"declares arrays through byte {end}"
+            )
+        descriptor = MmapGraphDescriptor(
+            path=path,
+            graph_type=graph_type,
+            arrays=specs,
+            nbytes=sum(s.nbytes for s in specs),
+            file_bytes=file_bytes,
+        )
+        return cls._map(descriptor, owns_file=owns_file)
+
+    @classmethod
+    def attach(cls, descriptor: MmapGraphDescriptor) -> "MmapCSR":
+        """Worker-side reattachment; never takes file ownership."""
+        try:
+            file_bytes = os.path.getsize(descriptor.path)
+        except OSError:
+            raise ParameterError(
+                f"memmap graph file {descriptor.path!r} does not exist "
+                "(was the owning MmapCSR closed?)"
+            ) from None
+        if file_bytes < descriptor.file_bytes:
+            raise ParameterError(
+                f"memmap graph file {descriptor.path!r} holds {file_bytes} "
+                f"bytes but the descriptor expects {descriptor.file_bytes}"
+            )
+        return cls._map(descriptor, owns_file=False)
+
+    @classmethod
+    def _map(
+        cls, descriptor: MmapGraphDescriptor, *, owns_file: bool
+    ) -> "MmapCSR":
+        base = np.memmap(descriptor.path, dtype=np.uint8, mode="r")
+        views = {s.name: s.view(base) for s in descriptor.arrays}
+        graph = descriptor.graph_type.from_arrays(views, validate=False)
+        wrapper = cls(base, descriptor, graph, owns_file=owns_file)
+        register_backing(graph, "mmap", wrapper)
+        return wrapper
+
+    @classmethod
+    def from_graph(
+        cls, graph: CSRGraph, path, *, owns_file: bool = False
+    ) -> "MmapCSR":
+        """Write an in-RAM graph's arrays to ``path`` and map them back."""
+        if type(graph).__name__ not in _GRAPH_CLASSES:
+            raise ParameterError(
+                f"memmap backing supports {sorted(_GRAPH_CLASSES)}, got "
+                f"{type(graph).__name__}"
+            )
+        arrays = graph.csr_arrays()
+        layout = MmapLayout.create(
+            str(path),
+            type(graph),
+            [
+                (name, tuple(arr.shape), arr.dtype)
+                for name, arr in arrays.items()
+            ],
+        )
+        views = layout.views
+        for name, arr in arrays.items():
+            views[name][...] = arr
+        del views
+        return layout.open_graph(owns_file=owns_file)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        if self._graph is None:
+            raise ParameterError("memmap graph is closed")
+        return self._graph
+
+    @property
+    def descriptor(self) -> MmapGraphDescriptor:
+        return self._descriptor
+
+    @property
+    def path(self) -> str:
+        return self._descriptor.path
+
+    @property
+    def owns_file(self) -> bool:
+        """Whether :meth:`close` unlinks the backing file."""
+        return self._owns_file
+
+    @property
+    def closed(self) -> bool:
+        return self._graph is None
+
+    def nbytes(self) -> int:
+        """Bytes of graph data resident in the file (payload only)."""
+        return self._descriptor.nbytes
+
+    def advise_dontneed(self) -> bool:
+        """Ask the kernel to drop resident pages of the mapping.
+
+        Returns whether the advice could be issued (``madvise`` may be
+        missing on exotic platforms).  Used by the out-of-core benchmark's
+        residency governor; purely advisory, never required for
+        correctness.
+        """
+        base = self._base
+        raw = getattr(base, "_mmap", None)
+        if raw is None or not hasattr(raw, "madvise"):
+            return False
+        raw.madvise(mmap.MADV_DONTNEED)
+        return True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this wrapper's references; file owners unlink the file.
+
+        Idempotent.  Views handed out earlier (including the wrapper's
+        graph, if still referenced) stay valid even after an unlink: the
+        mapping pins the inode until the last view is collected.
+        """
+        if self._graph is None and self._base is None:
+            return
+        self._graph = None
+        self._base = None
+        if self._owns_file:
+            try:
+                os.unlink(self._descriptor.path)
+            except FileNotFoundError:
+                pass
+
+    def unlink(self) -> None:
+        """Owner-side close-and-destroy (alias for :meth:`close`)."""
+        if not self._owns_file:
+            raise ParameterError(
+                "only a file-owning MmapCSR may unlink its backing file"
+            )
+        self.close()
+
+    def __enter__(self) -> "MmapCSR":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"path={self._descriptor.path!r}"
+        role = "file-owner" if self._owns_file else "reader"
+        return (
+            f"MmapCSR({state}, {role}, nbytes={self._descriptor.nbytes})"
+        )
+
+
+def validate_csr_chunked(
+    graph: CSRGraph, *, chunk_arcs: int = 4 * 1024 * 1024,
+    source: str = "memmap graph",
+) -> None:
+    """Structural CSR validation in bounded windows (out-of-core safe).
+
+    Covers the same invariants as the in-RAM constructor's validator —
+    offsets well-formed, ids in range, neighbour lists strictly increasing
+    (sorted, simple), no self-loops, adjacency symmetric — but scans the
+    arrays block-wise, so peak RSS stays bounded by ``chunk_arcs`` rather
+    than O(m).  Blocks split at row boundaries, which is what makes the
+    within-row monotonicity check local.
+    """
+    indptr = graph.indptr
+    indices = graph.indices
+    n = graph.num_vertices
+    if int(indptr[0]) != 0:
+        raise GraphError(f"{source}: indptr[0] must be 0, got {int(indptr[0])}")
+    total = int(indptr[-1])
+    if total != indices.shape[0]:
+        raise GraphError(
+            f"{source}: indptr[-1] ({total}) must equal len(indices) "
+            f"({indices.shape[0]})"
+        )
+    if total % 2:
+        raise GraphError(
+            f"{source}: odd number of arcs: undirected CSR must store "
+            "both directions"
+        )
+    v0 = 0
+    while v0 < n:
+        p0 = int(indptr[v0])
+        v1 = int(np.searchsorted(indptr, p0 + chunk_arcs, side="right")) - 1
+        v1 = min(max(v1, v0 + 1), n)
+        p1 = int(indptr[v1])
+        rowdeg = np.diff(indptr[v0 : v1 + 1])
+        if (rowdeg < 0).any():
+            raise GraphError(f"{source}: indptr must be non-decreasing")
+        block = indices[p0:p1]
+        if block.shape[0]:
+            if int(block.min()) < 0 or int(block.max()) >= n:
+                raise GraphError(
+                    f"{source}: indices contain out-of-range vertex ids"
+                )
+            rows = np.repeat(
+                np.arange(v0, v1, dtype=np.int64), rowdeg
+            )
+            if (block == rows).any():
+                raise GraphError(f"{source}: self-loops are not allowed")
+            same_row = rows[1:] == rows[:-1]
+            if np.any(same_row & (np.asarray(block[1:]) <= block[:-1])):
+                raise GraphError(
+                    f"{source}: neighbour lists must be strictly "
+                    "increasing (sorted, no parallel edges)"
+                )
+        v0 = v1
+    from repro.graphs.io import _check_symmetry_mmap
+
+    _check_symmetry_mmap(indptr, indices, n, chunk_arcs, source)
+
+
+def attach_mmap(descriptor: MmapGraphDescriptor) -> MmapCSR:
+    """Attach to a memmap graph from its descriptor (worker side)."""
+    return MmapCSR.attach(descriptor)
+
+
+def save_mmap_graph(graph: CSRGraph, path) -> MmapCSR:
+    """Write ``graph`` to ``path`` in ``RGM1`` format and map it back."""
+    return MmapCSR.from_graph(graph, path, owns_file=False)
+
+
+def open_mmap_graph(path) -> CSRGraph:
+    """Open a memmap graph file and return the graph itself.
+
+    The returned graph keeps the mapping alive through its array views;
+    use :meth:`MmapCSR.open` directly when lifecycle control is needed.
+    """
+    return MmapCSR.open(path, owns_file=False).graph

@@ -74,6 +74,14 @@ def connected_components(graph: CSRGraph) -> np.ndarray:
         return np.zeros(0, dtype=VERTEX_DTYPE)
     if graph.num_arcs == 0:
         return np.arange(n, dtype=VERTEX_DTYPE)
+    from repro.graphs.backing import backing_kind
+
+    if backing_kind(graph) == "mmap":
+        # scipy's csr_matrix copies the index arrays (and may downcast
+        # them), materialising O(m) in RAM — a BFS sweep streams the
+        # adjacency instead and produces the identical labelling
+        # (components numbered by smallest contained vertex).
+        return _components_bfs(graph)
     from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import connected_components as _scipy_cc
 
@@ -92,6 +100,22 @@ def connected_components(graph: CSRGraph) -> np.ndarray:
     remap = np.empty_like(order)
     remap[order] = np.arange(order.size)
     return remap[raw].astype(VERTEX_DTYPE)
+
+
+def _components_bfs(graph: CSRGraph) -> np.ndarray:
+    """Component labels via BFS sweeps — O(n) resident, arcs streamed."""
+    from repro.bfs.sequential import multi_source_bfs
+
+    n = graph.num_vertices
+    labels = np.full(n, -1, dtype=VERTEX_DTYPE)
+    next_label = 0
+    for root in range(n):
+        if labels[root] >= 0:
+            continue
+        res = multi_source_bfs(graph, np.asarray([root], dtype=np.int64))
+        labels[res.dist >= 0] = next_label
+        next_label += 1
+    return labels
 
 
 def num_components(graph: CSRGraph) -> int:
@@ -123,11 +147,28 @@ class QuotientResult:
     representative_edge: np.ndarray
 
 
-def quotient_graph(graph: CSRGraph, labels: np.ndarray) -> QuotientResult:
+#: arcs per block when the quotient streams over a memmap graph.
+_QUOTIENT_CHUNK_ARCS = 4 * 1024 * 1024
+
+
+def quotient_graph(
+    graph: CSRGraph,
+    labels: np.ndarray,
+    *,
+    chunk_arcs: int | None = None,
+) -> QuotientResult:
     """Contract each label class to a supervertex.
 
     ``labels`` must be dense ``0..k−1`` over all vertices (as produced by the
     decomposition assignment after compaction).
+
+    Memmap-backed graphs (and any call passing ``chunk_arcs``) are
+    contracted by a streaming row-block scan that never materialises the
+    full edge array — peak memory is one arc block plus the quotient
+    itself, not ``O(m)``.  The result is bit-identical to the in-memory
+    path: adjacency rows are sorted, so upper-triangle arcs in row-major
+    order *are* the canonical ``edge_array()`` order, and per-block
+    uniques merge associatively (first representative wins, counts sum).
     """
     labels = np.asarray(labels, dtype=VERTEX_DTYPE)
     if labels.shape[0] != graph.num_vertices:
@@ -135,13 +176,20 @@ def quotient_graph(graph: CSRGraph, labels: np.ndarray) -> QuotientResult:
     k = int(labels.max()) + 1 if labels.size else 0
     if labels.size and labels.min() < 0:
         raise GraphError("labels must be non-negative")
-    edges = graph.edge_array()
-    if edges.shape[0] == 0:
+    if graph.num_arcs == 0:
         return QuotientResult(
             graph=from_edges(k, np.zeros((0, 2), dtype=VERTEX_DTYPE)),
             edge_multiplicity=np.zeros(0, dtype=np.int64),
             representative_edge=np.zeros((0, 2), dtype=VERTEX_DTYPE),
         )
+    if chunk_arcs is None:
+        from repro.graphs.backing import backing_kind
+
+        if backing_kind(graph) == "mmap":
+            chunk_arcs = _QUOTIENT_CHUNK_ARCS
+    if chunk_arcs is not None:
+        return _quotient_streamed(graph, labels, k, int(chunk_arcs))
+    edges = graph.edge_array()
     lu = labels[edges[:, 0]]
     lv = labels[edges[:, 1]]
     cross = lu != lv
@@ -152,15 +200,82 @@ def quotient_graph(graph: CSRGraph, labels: np.ndarray) -> QuotientResult:
     uniq_keys, first_idx, counts = np.unique(
         keys, return_index=True, return_counts=True
     )
-    q_edges = np.stack([uniq_keys // k, uniq_keys % k], axis=1)
+    return _quotient_result(k, uniq_keys, counts, orig[first_idx])
+
+
+def _quotient_result(
+    k: int, keys: np.ndarray, counts: np.ndarray, reps: np.ndarray
+) -> QuotientResult:
+    q_edges = np.stack([keys // k, keys % k], axis=1).astype(VERTEX_DTYPE)
     qg = from_edges(k, q_edges, dedup=False)
-    # from_edges sorts edges canonically; uniq_keys are already sorted by
+    # from_edges sorts edges canonically; keys are already sorted by
     # (lo, hi) so multiplicities/representatives align with edge_array order.
     return QuotientResult(
         graph=qg,
         edge_multiplicity=counts.astype(np.int64),
-        representative_edge=orig[first_idx],
+        representative_edge=np.asarray(reps, dtype=VERTEX_DTYPE),
     )
+
+
+def _quotient_streamed(
+    graph: CSRGraph, labels: np.ndarray, k: int, chunk_arcs: int
+) -> QuotientResult:
+    """Row-block streaming contraction (see :func:`quotient_graph`)."""
+    indptr = graph.indptr
+    indices = graph.indices
+    n = graph.num_vertices
+    acc_keys: np.ndarray | None = None
+    acc_counts: np.ndarray | None = None
+    acc_reps: np.ndarray | None = None
+    v0 = 0
+    while v0 < n:
+        p0 = int(indptr[v0])
+        # Largest row range fitting the arc budget — always ≥ 1 row so a
+        # single huge row still streams (as one oversized block).
+        v1 = int(np.searchsorted(indptr, p0 + chunk_arcs, side="right")) - 1
+        v1 = min(n, max(v1, v0 + 1))
+        p1 = int(indptr[v1])
+        dst = np.asarray(indices[p0:p1])
+        deg = np.diff(np.asarray(indptr[v0 : v1 + 1]))
+        src = np.repeat(np.arange(v0, v1, dtype=VERTEX_DTYPE), deg)
+        keep = src < dst
+        src, dst = src[keep], dst[keep]
+        lu, lv = labels[src], labels[dst]
+        cross = lu != lv
+        if cross.any():
+            lo = np.minimum(lu[cross], lv[cross])
+            hi = np.maximum(lu[cross], lv[cross])
+            keys = lo * k + hi
+            uniq, first, counts = np.unique(
+                keys, return_index=True, return_counts=True
+            )
+            reps = np.stack([src[cross][first], dst[cross][first]], axis=1)
+            if acc_keys is None:
+                acc_keys, acc_counts, acc_reps = uniq, counts, reps
+            else:
+                # Accumulated entries first: np.unique's return_index
+                # picks the earliest occurrence, so a key seen in an
+                # earlier block keeps its (canonical-order-first)
+                # representative while the counts sum.
+                all_keys = np.concatenate([acc_keys, uniq])
+                merged, first_idx, inverse = np.unique(
+                    all_keys, return_index=True, return_inverse=True
+                )
+                summed = np.zeros(merged.size, dtype=np.int64)
+                np.add.at(
+                    summed, inverse, np.concatenate([acc_counts, counts])
+                )
+                acc_keys = merged
+                acc_counts = summed
+                acc_reps = np.concatenate([acc_reps, reps])[first_idx]
+        v0 = v1
+    if acc_keys is None:
+        return QuotientResult(
+            graph=from_edges(k, np.zeros((0, 2), dtype=VERTEX_DTYPE)),
+            edge_multiplicity=np.zeros(0, dtype=np.int64),
+            representative_edge=np.zeros((0, 2), dtype=VERTEX_DTYPE),
+        )
+    return _quotient_result(k, acc_keys, acc_counts, acc_reps)
 
 
 def cut_edge_mask(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:

@@ -97,8 +97,11 @@ def akpw_spanning_tree(
 
     # Current contracted graph; cur_orig_edges[i] is the original-graph edge
     # realising the i-th current edge (aligned with edge_array() rows).
+    # ``None`` means the identity map — level 0 never materialises the
+    # O(m) canonical edge table, which is what lets a memmap-backed graph
+    # run with peak RSS bounded by the first quotient, not the input.
     cur = graph
-    cur_orig_edges = graph.edge_array()
+    cur_orig_edges: np.ndarray | None = None
     tree_edges: list[np.ndarray] = []
     level_sizes: list[tuple[int, int]] = []
     level_betas: list[float] = []
@@ -222,19 +225,27 @@ def _decompose_level(
 
 
 def _map_to_original(
-    cur: CSRGraph, cur_orig_edges: np.ndarray, level_edges: np.ndarray
+    cur: CSRGraph,
+    cur_orig_edges: np.ndarray | None,
+    level_edges: np.ndarray,
 ) -> np.ndarray:
     """Translate current-level endpoint pairs to original-graph edges.
 
     ``cur_orig_edges`` is aligned with ``cur.edge_array()``, whose rows are
     sorted by the canonical key ``lo·n + hi`` — so a vectorised
-    ``searchsorted`` finds each queried edge's row.
+    ``searchsorted`` finds each queried edge's row.  ``None`` is the
+    level-0 identity map: the queried pairs (BFS tree edges, quotient
+    representatives) are guaranteed edges of ``cur``, which *is* the
+    original graph, so they map to themselves without touching the edge
+    table at all.
     """
+    lo = np.minimum(level_edges[:, 0], level_edges[:, 1])
+    hi = np.maximum(level_edges[:, 0], level_edges[:, 1])
+    if cur_orig_edges is None:
+        return np.stack([lo, hi], axis=1).astype(np.int64)
     n = cur.num_vertices
     canon = cur.edge_array()
     keys = canon[:, 0] * n + canon[:, 1]
-    lo = np.minimum(level_edges[:, 0], level_edges[:, 1])
-    hi = np.maximum(level_edges[:, 0], level_edges[:, 1])
     q = lo * n + hi
     pos = np.searchsorted(keys, q)
     if np.any(pos >= keys.shape[0]) or np.any(keys[pos] != q):

@@ -42,7 +42,9 @@ from repro.core.decomposition import Decomposition
 from repro.core.engine import PartitionResult, _resolve, decompose
 from repro.core.weighted import WeightedDecomposition
 from repro.errors import ParameterError
+from repro.graphs.backing import backing_handle, backing_kind
 from repro.graphs.csr import CSRGraph
+from repro.graphs.mmapcsr import MmapGraphDescriptor, attach_mmap
 from repro.runtime.shm import (
     SharedCSR,
     SharedGraphDescriptor,
@@ -76,11 +78,18 @@ class DecompositionRequest:
 _WORKER_GRAPHS: dict[str, SharedCSR] = {}
 
 
+def _attach_descriptor(descriptor):
+    """Worker-side attach, dispatching on the descriptor's backing kind."""
+    if isinstance(descriptor, MmapGraphDescriptor):
+        return attach_mmap(descriptor)
+    return attach_shared(descriptor)
+
+
 def _attach_worker(descriptors: dict[str, SharedGraphDescriptor]) -> None:
     """Pool initializer: map every registered graph exactly once."""
     _WORKER_GRAPHS.clear()
     for key, descriptor in descriptors.items():
-        _WORKER_GRAPHS[key] = attach_shared(descriptor)
+        _WORKER_GRAPHS[key] = _attach_descriptor(descriptor)
 
 
 def _warm_up(hold_seconds: float = 0.0) -> None:
@@ -110,7 +119,7 @@ def _worker_graph(graph_key: str, descriptor: SharedGraphDescriptor):
         if cached.descriptor.segment == descriptor.segment:
             return cached.graph
         cached.close()
-    attached = attach_shared(descriptor)
+    attached = _attach_descriptor(descriptor)
     _WORKER_GRAPHS[graph_key] = attached
     return attached.graph
 
@@ -184,6 +193,45 @@ def _rehydrate_result(
 # ---------------------------------------------------------------------------
 # parent side
 # ---------------------------------------------------------------------------
+class _MmapHandle:
+    """Pool-side handle over a memmap-backed graph.
+
+    Shape-compatible with :class:`~repro.runtime.shm.SharedCSR` where the
+    pool cares (``descriptor``/``nbytes()``/``close()``) but copies nothing:
+    workers re-open the file from the descriptor.  ``close()`` defers to
+    the wrapper's file ownership — a server spool file dies with its store
+    entry, a user-opened file survives the pool.
+    """
+
+    def __init__(self, wrapper) -> None:
+        self._wrapper = wrapper
+
+    @property
+    def descriptor(self) -> MmapGraphDescriptor:
+        return self._wrapper.descriptor
+
+    def nbytes(self) -> int:
+        return self._wrapper.nbytes()
+
+    def close(self) -> None:
+        if self._wrapper.owns_file:
+            self._wrapper.close()
+
+
+def _share_backing(graph: CSRGraph):
+    """Pick the pool's serving handle for ``graph`` by its backing.
+
+    Memmap-backed graphs are served through their existing file (workers
+    map it on attach); everything else is copied into a fresh
+    shared-memory segment as before.
+    """
+    if backing_kind(graph) == "mmap":
+        wrapper = backing_handle(graph)
+        if wrapper is not None and not wrapper.closed:
+            return _MmapHandle(wrapper)
+    return share_graph(graph)
+
+
 class DecompositionPool:
     """Workers that hold the registered graphs and stream decompositions.
 
@@ -219,7 +267,7 @@ class DecompositionPool:
         start_method: str | None = None,
     ) -> None:
         self._graphs = _normalise_graph_map(graphs)
-        self._shared: dict[str, SharedCSR] = {}
+        self._shared: dict[str, SharedCSR | _MmapHandle] = {}
         self._pool: ProcessPoolExecutor | None = None
         self._stats_lock = threading.Lock()
         # Serialises live register/unregister cycles: the serve layer
@@ -231,7 +279,7 @@ class DecompositionPool:
         self._failed = 0
         try:
             for key, graph in self._graphs.items():
-                self._shared[key] = share_graph(graph)
+                self._shared[key] = _share_backing(graph)
             descriptors = {
                 key: shared.descriptor
                 for key, shared in self._shared.items()
@@ -327,6 +375,10 @@ class DecompositionPool:
         counts as failed).  Counts are monotonic over the pool's lifetime.
         """
         with self._stats_lock:
+            backings = {"ram": 0, "shm": 0, "mmap": 0}
+            for handle in self._shared.values():
+                kind = "mmap" if isinstance(handle, _MmapHandle) else "shm"
+                backings[kind] += 1
             return {
                 "submitted": self._submitted,
                 "completed": self._completed,
@@ -334,6 +386,9 @@ class DecompositionPool:
                 "graphs": len(self._graphs),
                 "shared_bytes": self.shared_nbytes(),
                 "max_workers": self._max_workers,
+                "backing_ram": backings["ram"],
+                "backing_shm": backings["shm"],
+                "backing_mmap": backings["mmap"],
                 "native_kernel": native_available(),
                 "closed": self.closed,
             }
@@ -365,7 +420,7 @@ class DecompositionPool:
                     f"graph key {graph_key!r} is already registered; "
                     "unregister it first to replace the graph"
                 )
-            self._shared[graph_key] = share_graph(graph)
+            self._shared[graph_key] = _share_backing(graph)
             self._graphs[graph_key] = graph
 
     def unregister_graph(self, graph_key: str) -> None:

@@ -429,6 +429,107 @@ class ServeClient:
             self.hello()  # negotiate before choosing the upload format
         return self._call(graph_upload_message(graph, self._protocol))
 
+    def upload_chunked(
+        self,
+        graph: CSRGraph,
+        *,
+        chunk_bytes: int | None = None,
+    ) -> dict:
+        """Upload a graph through the chunked ops; returns the commit
+        response (``digest``, ``known``, ``num_vertices``, …).
+
+        This is the path for graphs whose arrays exceed the one-frame
+        protocol ceiling (``MAX_FRAME_BYTES``): ``upload_begin`` declares
+        the manifest (canonical array dtypes, payload SHA-256, the graph's
+        content digest), ``upload_chunk`` ships raw byte slices, and
+        ``upload_commit`` seals the transfer after the server re-derives
+        both hashes.  The sequence is resumable — a rerun after a dropped
+        connection continues from the server's accepted offset — and a
+        graph already resident under its digest costs one round trip
+        (``known: true``).  Works on memmap-backed graphs without ever
+        materialising the arrays in RAM.
+        """
+        if not isinstance(graph, CSRGraph):
+            raise ParameterError(
+                f"expected a CSRGraph, got {type(graph).__name__}"
+            )
+        from repro.serve.store import graph_digest
+
+        cls_name = type(graph).__name__
+        if cls_name not in _BINARY_UPLOAD_CLASSES:
+            raise ParameterError(
+                f"chunked upload supports {list(_BINARY_UPLOAD_CLASSES)}, "
+                f"got {cls_name}"
+            )
+        arrays = graph.csr_arrays()
+        flats: list[np.ndarray] = []
+        manifest: list[dict] = []
+        sha = hashlib.sha256()
+        window = 16 * 1024 * 1024
+        for name, arr in arrays.items():
+            canonical = np.ascontiguousarray(arr)
+            if canonical.dtype.byteorder == ">":  # pragma: no cover
+                canonical = canonical.astype(
+                    canonical.dtype.newbyteorder("<")
+                )
+            flat = canonical.reshape(-1).view(np.uint8)
+            for start in range(0, flat.nbytes, window):
+                sha.update(flat[start : start + window])
+            flats.append(flat)
+            manifest.append(
+                {
+                    "name": name,
+                    "dtype": canonical.dtype.newbyteorder("<").str,
+                    "shape": [int(canonical.shape[0])],
+                }
+            )
+        total = sum(flat.nbytes for flat in flats)
+        digest = graph_digest(graph)
+        begin = self._call(
+            {
+                "op": "upload_begin",
+                "digest": digest,
+                "class": cls_name,
+                "arrays": manifest,
+                "payload_sha256": sha.hexdigest(),
+                "total_bytes": total,
+            }
+        )
+        if begin.get("known"):
+            return begin
+        offset = int(begin.get("offset", 0))
+        if chunk_bytes is None:
+            chunk_bytes = int(begin.get("chunk_bytes") or window)
+        if chunk_bytes <= 0:
+            raise ParameterError(
+                f"chunk_bytes must be positive, got {chunk_bytes}"
+            )
+        # Walk the arrays as one logical byte stream, resuming at the
+        # server's accepted offset; chunks never cross an array boundary,
+        # so each slice is a zero-copy view of the (possibly memmapped)
+        # source array.
+        base = 0
+        for flat in flats:
+            end = base + flat.nbytes
+            while offset < end:
+                take = min(chunk_bytes, end - offset)
+                piece = flat[offset - base : offset - base + take]
+                self._call(
+                    {
+                        "op": "upload_chunk",
+                        "upload_id": digest,
+                        "offset": offset,
+                        "data": piece,
+                    }
+                )
+                offset += take
+            base = end
+        return self._call({"op": "upload_commit", "upload_id": digest})
+
+    def upload_abort(self, upload_id: str) -> dict:
+        """Drop an in-progress chunked upload server-side."""
+        return self._call({"op": "upload_abort", "upload_id": upload_id})
+
     def upload_text(self, payload: str, format: str = "auto") -> dict:
         """Upload serialised graph text; returns the full server response
         (``digest``, ``known``, ``num_vertices``, ``num_edges``,

@@ -97,7 +97,9 @@ def _check_frame_size(nbytes: int) -> None:
     if nbytes > MAX_FRAME_BYTES:
         raise ServeError(
             f"frame of {nbytes} bytes exceeds the protocol maximum "
-            f"({MAX_FRAME_BYTES})"
+            f"({MAX_FRAME_BYTES}); ship large graphs through the chunked "
+            "upload ops (upload_begin/upload_chunk/upload_commit — "
+            "ServeClient.upload_chunked) instead of one frame"
         )
 
 
@@ -279,7 +281,8 @@ def parse_frame_length(header: bytes) -> int:
     if length > MAX_FRAME_BYTES:
         raise ServeError(
             f"peer announced a {length}-byte frame, exceeding the protocol "
-            f"maximum ({MAX_FRAME_BYTES})"
+            f"maximum ({MAX_FRAME_BYTES}); large graphs belong in the "
+            "chunked upload ops (upload_begin/upload_chunk/upload_commit)"
         )
     return length
 

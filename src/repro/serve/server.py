@@ -39,13 +39,17 @@ from __future__ import annotations
 
 import asyncio
 import errno
+import hashlib
 import json
 import logging
 import math
+import os
+import shutil
+import tempfile
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -54,8 +58,15 @@ from repro.bfs.kernels import native_available
 from repro.core.engine import DEFAULT_METHODS, PartitionResult, _resolve
 from repro.core.weighted import WeightedDecomposition
 from repro.errors import ParameterError, ReproError, ServeError
+from repro.graphs.backing import BACKING_KINDS
 from repro.graphs.csr import CSRGraph
 from repro.graphs.io import GRAPH_FORMATS, parse_graph
+from repro.graphs.mmapcsr import (
+    HEADER_RESERVE,
+    MmapCSR,
+    MmapLayout,
+    validate_csr_chunked,
+)
 from repro.core.registry import describe_methods
 from repro.runtime.pool import DecompositionPool
 from repro.serve.cache import DEFAULT_MAX_BYTES, ResultCache
@@ -142,6 +153,137 @@ def upload_builder(message: dict):
         return graph, graph_digest(graph)
 
     return _parse_and_hash
+
+#: Canonical on-disk dtypes of a chunked upload's arrays: the spool file
+#: holds the *final* CSR arrays (no transport downcast), so the committed
+#: graph maps zero-copy and its digest equals an in-RAM upload's.
+_CHUNKED_UPLOAD_DTYPES = {"indptr": "<i8", "indices": "<i8", "weights": "<f8"}
+
+#: Chunk size the server suggests to chunked-upload clients.
+DEFAULT_UPLOAD_CHUNK_BYTES = 32 * 1024 * 1024
+
+
+@dataclass
+class _UploadSession:
+    """One in-progress chunked upload (state lives on the event loop).
+
+    ``received`` is the accepted contiguous high-water offset — it advances
+    on the loop when a chunk is validated, while the positioned write runs
+    off-loop (``os.pwrite`` is order-independent, so pipelined chunks may
+    land out of order on disk).  ``pending`` holds the outstanding write
+    futures; commit awaits them before hashing the payload.
+    """
+
+    upload_id: str
+    manifest_key: tuple
+    payload_sha256: str
+    total_bytes: int
+    path: str
+    fd: int
+    received: int = 0
+    broken: str | None = None
+    pending: set = field(default_factory=set)
+
+    def close_fd(self) -> None:
+        fd, self.fd = self.fd, -1
+        if fd >= 0:
+            os.close(fd)
+
+
+def _chunked_manifest(message: dict) -> tuple[str, list, str, int, tuple]:
+    """Validate an ``upload_begin`` manifest; returns its layout recipe.
+
+    The manifest pins class, array order/shape/dtype, the client-computed
+    graph digest (the content address and routing key), the SHA-256 of the
+    concatenated payload bytes, and the total byte count.  Arrays must
+    arrive in ``csr_arrays()`` order with canonical dtypes so the spool
+    file *is* the final backing file.
+    """
+    cls_name = message.get("class", "CSRGraph")
+    expected = _UPLOAD_CLASSES.get(cls_name)
+    if expected is None:
+        raise ParameterError(
+            f"upload_begin 'class' must be one of {sorted(_UPLOAD_CLASSES)}, "
+            f"got {cls_name!r}"
+        )
+    arrays = message.get("arrays")
+    if not isinstance(arrays, list) or not all(
+        isinstance(a, dict) for a in arrays
+    ):
+        raise ParameterError(
+            "upload_begin needs 'arrays': a list of "
+            "{name, dtype, shape} objects in csr_arrays() order"
+        )
+    names = [a.get("name") for a in arrays]
+    if names != list(expected):
+        raise ParameterError(
+            f"upload_begin of a {cls_name} needs arrays {list(expected)} "
+            f"in order, got {names}"
+        )
+    recipe = []
+    total = 0
+    lengths: dict[str, int] = {}
+    for a in arrays:
+        name = a["name"]
+        want = np.dtype(_CHUNKED_UPLOAD_DTYPES[name])
+        try:
+            got = np.dtype(a.get("dtype"))
+        except TypeError:
+            raise ParameterError(
+                f"upload_begin array {name!r} has unparsable dtype "
+                f"{a.get('dtype')!r}"
+            ) from None
+        if got != want:
+            raise ParameterError(
+                f"chunked uploads ship final arrays: {name!r} must have "
+                f"dtype {want.str!r}, got {got.str!r}"
+            )
+        shape = a.get("shape")
+        if (
+            not isinstance(shape, list) or len(shape) != 1
+            or not isinstance(shape[0], int) or isinstance(shape[0], bool)
+            or shape[0] < 0
+        ):
+            raise ParameterError(
+                f"upload_begin array {name!r} needs a 1-element 'shape' "
+                f"of a non-negative int, got {shape!r}"
+            )
+        lengths[name] = shape[0]
+        recipe.append((name, (shape[0],), want))
+        total += shape[0] * want.itemsize
+    if lengths["indptr"] < 1:
+        raise ParameterError("'indptr' must have at least one entry")
+    if "weights" in lengths and lengths["weights"] != lengths["indices"]:
+        raise ParameterError(
+            f"'weights' length ({lengths['weights']}) must equal "
+            f"'indices' length ({lengths['indices']})"
+        )
+    declared_total = message.get("total_bytes")
+    if declared_total is not None and int(declared_total) != total:
+        raise ParameterError(
+            f"'total_bytes' ({declared_total}) does not match the declared "
+            f"arrays ({total} bytes)"
+        )
+    sha = message.get("payload_sha256")
+    if not isinstance(sha, str) or len(sha) != 64:
+        raise ParameterError(
+            "upload_begin needs 'payload_sha256': hex SHA-256 of the "
+            "concatenated array bytes in manifest order"
+        )
+    digest = message.get("digest")
+    if not isinstance(digest, str) or not digest:
+        raise ParameterError(
+            "upload_begin needs the client-computed graph 'digest' "
+            "(graph_digest(...) — it is the content address)"
+        )
+    manifest_key = (
+        cls_name,
+        tuple((name, tuple(shape), dt.str) for name, shape, dt in recipe),
+        sha,
+        total,
+    )
+    return cls_name, recipe, sha, total, manifest_key
+
 
 #: Application-op recursion graphs at or below this edge count run inline
 #: on the executor thread instead of crossing into the worker pool — a
@@ -255,6 +397,8 @@ class DecompositionServer:
         self.preloaded: tuple[str, ...] = ()
 
         self._app_provider = None
+        self._upload_sessions: dict[str, _UploadSession] = {}
+        self._spool_dir: str | None = None
         self._connections = 0
         self._requests_total = 0
         self._decompose_requests = 0
@@ -273,6 +417,7 @@ class DecompositionServer:
             raise ServeError("server is already started")
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        self._spool_dir = tempfile.mkdtemp(prefix="repro-serve-spool-")
         self._pool = DecompositionPool(
             max_workers=self._max_workers,
             start_method=self._start_method,
@@ -368,9 +513,19 @@ class DecompositionServer:
         provider, self._app_provider = self._app_provider, None
         if provider is not None:
             provider.close()
+        sessions, self._upload_sessions = self._upload_sessions, {}
+        for session in sessions.values():
+            session.broken = "server shut down"
+            session.close_fd()
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown()
+        # After pool shutdown: committed spool files were owned by the
+        # store's mmap wrappers and are already unlinked; whatever is left
+        # in the spool dir is abandoned upload state.
+        spool, self._spool_dir = self._spool_dir, None
+        if spool is not None:
+            shutil.rmtree(spool, ignore_errors=True)
         if self.address is not None:
             logger.info(
                 "server on %s:%d stopped (%d request(s) served)",
@@ -569,6 +724,8 @@ class DecompositionServer:
             "formats": list(GRAPH_FORMATS),
             "graphs": list(self._store.digests),
             "native_kernel": native_available(),
+            "graph_backings": sorted(BACKING_KINDS),
+            "upload_chunk_bytes": DEFAULT_UPLOAD_CHUNK_BYTES,
         }
 
     async def _op_upload(self, message: dict) -> dict:
@@ -606,6 +763,282 @@ class DecompositionServer:
             raise ParameterError("discard needs a string 'digest'")
         self._store.discard(digest)
         return {"ok": True, "digest": digest, "discarded": True}
+
+    # ------------------------------------------------------------------
+    # chunked upload — graphs larger than one protocol frame
+    # ------------------------------------------------------------------
+    def _upload_summary(self, digest: str) -> dict:
+        """The admit response for a graph already resident in the store."""
+        graph = self._store.get(digest)
+        from repro.graphs.weighted import WeightedCSRGraph
+
+        return {
+            "ok": True,
+            "digest": digest,
+            "known": True,
+            "complete": True,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "weighted": isinstance(graph, WeightedCSRGraph),
+        }
+
+    def _destroy_session(self, session: _UploadSession) -> None:
+        self._upload_sessions.pop(session.upload_id, None)
+        session.close_fd()
+        try:
+            os.unlink(session.path)
+        except OSError:
+            pass
+
+    def _session_for(self, message: dict, op: str) -> _UploadSession:
+        upload_id = message.get("upload_id", message.get("digest"))
+        if not isinstance(upload_id, str):
+            raise ParameterError(f"{op} needs a string 'upload_id'")
+        session = self._upload_sessions.get(upload_id)
+        if session is None:
+            raise ParameterError(
+                f"no upload in progress for {upload_id!r}; send "
+                f"upload_begin first"
+            )
+        if session.broken is not None:
+            raise ServeError(
+                f"upload {upload_id[:12]} is broken ({session.broken}); "
+                f"upload_abort it and restart"
+            )
+        return session
+
+    async def _op_upload_begin(self, message: dict) -> dict:
+        """Open (or resume) a chunked upload keyed by the graph digest.
+
+        Content addressing makes the digest the natural upload id: a
+        resident graph short-circuits to ``known: true`` with nothing
+        sent, and a second ``begin`` for an in-flight transfer resumes at
+        the accepted byte offset instead of restarting.
+        """
+        cls_name, recipe, sha, total, manifest_key = _chunked_manifest(message)
+        digest = message["digest"]
+        if digest in self._store.digests:
+            return self._upload_summary(digest)
+        session = self._upload_sessions.get(digest)
+        if session is not None and session.broken is not None:
+            self._destroy_session(session)
+            session = None
+        if session is not None:
+            if session.manifest_key != manifest_key:
+                raise ParameterError(
+                    f"upload {digest[:12]} is already in progress with a "
+                    f"different manifest; upload_abort it first"
+                )
+            return {
+                "ok": True,
+                "digest": digest,
+                "known": False,
+                "offset": session.received,
+                "total_bytes": session.total_bytes,
+                "chunk_bytes": DEFAULT_UPLOAD_CHUNK_BYTES,
+            }
+        if self._spool_dir is None:
+            raise ServeError("server is not started")
+        from repro.graphs.weighted import WeightedCSRGraph
+
+        graph_type = (
+            WeightedCSRGraph if cls_name == "WeightedCSRGraph" else CSRGraph
+        )
+        path = os.path.join(self._spool_dir, f"{digest}.rgm")
+
+        def _create() -> int:
+            # The spool file *is* the final backing file: header up front,
+            # payload filled by positioned writes, committed in place.
+            MmapLayout.create(path, graph_type, recipe).close()
+            return os.open(path, os.O_RDWR)
+
+        fd = await self._loop.run_in_executor(None, _create)
+        raced = self._upload_sessions.get(digest)
+        if raced is not None and raced.broken is None:
+            # A concurrent begin for the same digest won while we were off
+            # the loop; both wrote the same header to the same path, so
+            # just yield to the established session.
+            os.close(fd)
+            return {
+                "ok": True,
+                "digest": digest,
+                "known": False,
+                "offset": raced.received,
+                "total_bytes": raced.total_bytes,
+                "chunk_bytes": DEFAULT_UPLOAD_CHUNK_BYTES,
+            }
+        session = _UploadSession(
+            upload_id=digest,
+            manifest_key=manifest_key,
+            payload_sha256=sha,
+            total_bytes=total,
+            path=path,
+            fd=fd,
+        )
+        self._upload_sessions[digest] = session
+        return {
+            "ok": True,
+            "digest": digest,
+            "known": False,
+            "offset": 0,
+            "total_bytes": total,
+            "chunk_bytes": DEFAULT_UPLOAD_CHUNK_BYTES,
+        }
+
+    @staticmethod
+    def _pwrite_chunk(session: _UploadSession, buf: bytes, pos: int) -> None:
+        try:
+            view = memoryview(buf)
+            written = 0
+            while written < len(view):
+                written += os.pwrite(session.fd, view[written:], pos + written)
+        except Exception as exc:
+            session.broken = f"spool write failed: {exc}"
+
+    async def _op_upload_chunk(self, message: dict) -> dict:
+        """Accept one payload slice at a byte offset.
+
+        The contiguity check and high-water bump happen on the loop;
+        the write itself is a positioned ``pwrite`` on the executor, so a
+        pipelining client keeps the socket and the disk busy at once.
+        Replayed chunks at already-accepted offsets are acknowledged
+        without rewriting (idempotent retry after a dropped response).
+        """
+        session = self._session_for(message, "upload_chunk")
+        offset = message.get("offset")
+        if isinstance(offset, bool) or not isinstance(offset, int) or offset < 0:
+            raise ParameterError(
+                "upload_chunk needs a non-negative integer 'offset'"
+            )
+        data = as_array(message.get("data"))
+        if data.dtype != np.uint8 or data.ndim != 1:
+            raise ParameterError(
+                "upload_chunk 'data' must be a 1-D uint8 array of raw "
+                "payload bytes"
+            )
+        end = offset + data.nbytes
+        if end > session.total_bytes:
+            raise ParameterError(
+                f"chunk [{offset}, {end}) overruns the declared payload "
+                f"({session.total_bytes} bytes)"
+            )
+        if offset > session.received:
+            raise ParameterError(
+                f"chunk at offset {offset} leaves a gap: only "
+                f"{session.received} bytes accepted so far"
+            )
+        if end > session.received:
+            session.received = end
+            # Detach from the frame buffer before leaving the loop.
+            buf = data.tobytes()
+            fut = self._loop.run_in_executor(
+                None, self._pwrite_chunk, session, buf, HEADER_RESERVE + offset
+            )
+            session.pending.add(fut)
+            fut.add_done_callback(session.pending.discard)
+        return {
+            "ok": True,
+            "upload_id": session.upload_id,
+            "received": session.received,
+        }
+
+    async def _op_upload_commit(self, message: dict) -> dict:
+        """Seal a completed upload: hash, validate, admit.
+
+        Every guarantee an in-frame upload gives holds here too — the
+        payload SHA-256 catches transfer corruption, the chunked CSR
+        validator enforces structural invariants without materialising
+        the arrays, and the recomputed content digest must equal the one
+        the client declared (it is the store key other requests will
+        reference).  A commit replay after success is answered from the
+        store.
+        """
+        upload_id = message.get("upload_id", message.get("digest"))
+        if isinstance(upload_id, str) and upload_id in self._store.digests:
+            return self._upload_summary(upload_id)
+        session = self._session_for(message, "upload_commit")
+        if session.received < session.total_bytes:
+            raise ParameterError(
+                f"upload_commit before the payload is complete: "
+                f"{session.received} of {session.total_bytes} bytes received"
+            )
+        if session.pending:
+            await asyncio.gather(*list(session.pending))
+        if session.broken is not None:
+            raise ServeError(
+                f"upload {session.upload_id[:12]} is broken "
+                f"({session.broken}); upload_abort it and restart"
+            )
+        declared = session.upload_id
+
+        def _seal() -> MmapCSR:
+            session.close_fd()
+            sha = hashlib.sha256()
+            with open(session.path, "rb") as fh:
+                fh.seek(HEADER_RESERVE)
+                while True:
+                    block = fh.read(16 * 1024 * 1024)
+                    if not block:
+                        break
+                    sha.update(block)
+            if sha.hexdigest() != session.payload_sha256:
+                raise ServeError(
+                    f"payload hash mismatch after upload: declared "
+                    f"{session.payload_sha256}, received {sha.hexdigest()} "
+                    f"— the transfer is corrupt; retry the upload"
+                )
+            wrapper = MmapCSR.open(session.path, owns_file=True)
+            try:
+                validate_csr_chunked(
+                    wrapper.graph,
+                    source=f"chunked upload {declared[:12]}",
+                )
+                digest = graph_digest(wrapper.graph)
+                if digest != declared:
+                    raise ServeError(
+                        f"graph digest mismatch: client declared "
+                        f"{declared}, committed arrays hash to {digest}"
+                    )
+            except BaseException:
+                wrapper.close()  # owns the file — unlinks the spool
+                raise
+            return wrapper
+
+        try:
+            wrapper = await self._loop.run_in_executor(None, _seal)
+        except BaseException:
+            self._destroy_session(session)
+            raise
+        self._upload_sessions.pop(declared, None)
+        try:
+            response = self._admit(wrapper.graph, declared)
+        except BaseException:
+            wrapper.close()
+            raise
+        if response["known"]:
+            # Raced a plain upload of the same graph; the store kept the
+            # first copy, so drop ours (owns the file — unlinks it).
+            wrapper.close()
+        response["complete"] = True
+        return response
+
+    async def _op_upload_abort(self, message: dict) -> dict:
+        """Drop an in-progress upload and its spool file."""
+        upload_id = message.get("upload_id", message.get("digest"))
+        if not isinstance(upload_id, str):
+            raise ParameterError("upload_abort needs a string 'upload_id'")
+        session = self._upload_sessions.get(upload_id)
+        if session is not None:
+            if session.pending:
+                await asyncio.gather(
+                    *list(session.pending), return_exceptions=True
+                )
+            self._destroy_session(session)
+        return {
+            "ok": True,
+            "upload_id": upload_id,
+            "aborted": session is not None,
+        }
 
     # ------------------------------------------------------------------
     # request parsing helpers (shared by decompose and application ops)
@@ -975,6 +1408,7 @@ class DecompositionServer:
                 "pool_executions": self._pool_executions,
                 "errors": self._errors,
                 "inflight": len(self._inflight),
+                "uploads_in_progress": len(self._upload_sessions),
             },
             "cache": self._cache.stats(),
             "store": self._store.stats(),
@@ -1004,6 +1438,10 @@ class DecompositionServer:
     _OPS = {
         "hello": _op_hello,
         "upload": _op_upload,
+        "upload_begin": _op_upload_begin,
+        "upload_chunk": _op_upload_chunk,
+        "upload_commit": _op_upload_commit,
+        "upload_abort": _op_upload_abort,
         "discard": _op_discard,
         "decompose": _op_decompose,
         "spanner": _op_spanner,

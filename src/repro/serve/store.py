@@ -45,8 +45,26 @@ def graph_digest(graph: CSRGraph) -> str:
         sha.update(name.encode("utf-8"))
         sha.update(canonical.dtype.str.encode("ascii"))
         sha.update(repr(tuple(arr.shape)).encode("ascii"))
-        sha.update(canonical.tobytes())
+        _hash_array_bytes(sha, canonical)
     return sha.hexdigest()
+
+
+#: Digest streaming granularity: big enough to amortise call overhead,
+#: small enough that hashing a memmap graph never faults in more than one
+#: window of pages at a time.
+_DIGEST_CHUNK_BYTES = 16 * 1024 * 1024
+
+
+def _hash_array_bytes(sha, arr: np.ndarray) -> None:
+    """Feed ``arr``'s bytes to ``sha`` in bounded windows.
+
+    Equivalent to ``sha.update(arr.tobytes())`` but without materialising
+    a second copy — on a memmap-backed graph the ``tobytes()`` copy alone
+    would exceed the out-of-core RSS budget.
+    """
+    flat = arr.reshape(-1).view(np.uint8)
+    for start in range(0, flat.nbytes, _DIGEST_CHUNK_BYTES):
+        sha.update(flat[start : start + _DIGEST_CHUNK_BYTES])
 
 
 class GraphStore:

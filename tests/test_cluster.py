@@ -272,6 +272,37 @@ class TestUploadOnMiss:
                 )
 
 
+class TestChunkedUploadThroughRouter:
+    def test_chunks_land_on_the_digest_owner_and_decompose_is_warm(
+        self, running_cluster
+    ):
+        router = running_cluster
+        graph = erdos_renyi(45, 0.12, seed=83)
+        digest = graph_digest(graph)
+        owner = router.owner_of(digest)
+        with ServeClient(*router.address) as client:
+            response = client.upload_chunked(graph, chunk_bytes=256)
+            assert response["digest"] == digest
+            assert response["complete"] is True
+            # every chunk routed on upload_id == digest, so the graph is
+            # resident only on the ring owner
+            for label in router.shard_labels:
+                host, port = label.rsplit(":", 1)
+                with ServeClient(host, int(port)) as shard:
+                    resident = digest in shard.hello()["graphs"]
+                assert resident == (label == owner), label
+            # a later decompose by digest is a warm hit on that shard —
+            # no inline-graph replay needed
+            before = client.stats()["router"]["miss_uploads"]
+            served = client.decompose(digest, beta=0.3, seed=2)
+            after = client.stats()["router"]["miss_uploads"]
+            assert after == before
+            assert served.result_digest() == serial_digest(
+                graph, 0.3, seed=2
+            )
+            client.discard(digest)
+
+
 # ---------------------------------------------------------------------------
 # failure behaviour: dead shards fail loudly, ring stays put
 # ---------------------------------------------------------------------------

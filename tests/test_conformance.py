@@ -240,3 +240,48 @@ def test_resolve_claims_boundaries_across_kernels(num_vertices, count):
     ):
         np.testing.assert_array_equal(semisort[0], winners, label)
         np.testing.assert_array_equal(semisort[1], owners, label)
+
+
+# ---------------------------------------------------------------------------
+# backing conformance: memmap graphs decompose identically to in-RAM ones
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def mmap_families(tmp_path_factory):
+    """Memmap copies of every unweighted family, kept open for the module."""
+    from repro.graphs import save_mmap_graph
+
+    root = tmp_path_factory.mktemp("conformance-mmap")
+    wrappers = {
+        name: save_mmap_graph(graph, str(root / f"{name}.rgm"))
+        for name, graph in FAMILIES.items()
+    }
+    yield {name: wrapper.graph for name, wrapper in wrappers.items()}
+    for wrapper in wrappers.values():
+        wrapper.close()
+
+
+_BACKING_KERNELS = ["python"] + (["native"] if native_available() else [])
+
+
+@pytest.mark.parametrize("kernel", _BACKING_KERNELS)
+@pytest.mark.parametrize("seed", SEEDS[:2])
+@pytest.mark.parametrize("method", method_names("unweighted"))
+def test_memmap_backing_conforms(method, seed, kernel, mmap_families):
+    """A file-backed (memmap) graph must decompose bit-identically to the
+    same graph held in RAM, for every method under both kernels — the
+    out-of-core substrate may change where arrays live, never answers."""
+    from repro.bfs.kernels import use_kernel
+
+    for name, via_file in mmap_families.items():
+        context = (
+            f"memmap family={name} method={method} seed={seed} "
+            f"kernel={kernel}"
+        )
+        with use_kernel(kernel):
+            from_file = decompose(via_file, BETA, method=method, seed=seed)
+            from_ram = decompose(
+                FAMILIES[name], BETA, method=method, seed=seed
+            )
+        _assert_identical(from_file, from_ram, context)
+        recorded = from_file.trace.extra.get("kernel")
+        assert recorded in (kernel, None), context

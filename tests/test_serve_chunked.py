@@ -1,0 +1,234 @@
+"""Tests for the chunked upload ops (upload_begin/chunk/commit/abort).
+
+The chunked path exists so graphs larger than ``MAX_FRAME_BYTES`` can
+reach a server without one giant frame: the client declares a manifest
+and the graph's content digest, streams raw byte slices, and the server
+re-derives both hashes over its spool file before admitting.  Admission
+is bit-exact: the committed graph must be digest-identical to the plain
+binary upload of the same graph, and decompositions against it must be
+byte-identical to local ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.engine import decompose
+from repro.errors import ServeError
+from repro.graphs.generators import erdos_renyi, grid_2d
+from repro.graphs.weighted import weights_by_name
+from repro.serve import MAX_FRAME_BYTES, ServeClient, graph_digest, serve_background
+from repro.serve.protocol import _check_frame_size
+
+
+def _spool_bytes(server) -> int:
+    spool = server._spool_dir
+    if spool is None or not os.path.isdir(spool):
+        return 0
+    return sum(
+        os.path.getsize(os.path.join(spool, name))
+        for name in os.listdir(spool)
+    )
+
+
+@pytest.fixture(scope="module")
+def chunked_server():
+    with serve_background(max_workers=1) as server:
+        yield server
+
+
+@pytest.fixture
+def client(chunked_server):
+    with ServeClient(*chunked_server.address) as c:
+        yield c
+
+
+GRAPH = erdos_renyi(80, 0.08, seed=5)
+
+
+class TestChunkedUpload:
+    def test_roundtrip_with_tiny_chunks(self, chunked_server, client):
+        graph = grid_2d(9, 9)
+        digest = graph_digest(graph)
+        response = client.upload_chunked(graph, chunk_bytes=64)
+        assert response["complete"] is True
+        assert response["digest"] == digest
+        assert response["num_vertices"] == graph.num_vertices
+        assert digest in chunked_server._store.digests
+        # the admitted copy is served zero-copy from the spool file
+        assert chunked_server._pool.stats()["backing_mmap"] >= 1
+        client.discard(digest)
+
+    def test_decompose_parity_after_chunked_upload(self, client):
+        response = client.upload_chunked(GRAPH, chunk_bytes=512)
+        digest = response["digest"]
+        served = client.decompose(digest, beta=0.3, seed=4)
+        local = decompose(GRAPH, 0.3, seed=4)
+        np.testing.assert_array_equal(
+            served.center, local.decomposition.center
+        )
+        np.testing.assert_array_equal(served.hops, local.decomposition.hops)
+        client.discard(digest)
+
+    def test_begin_on_resident_digest_is_one_roundtrip(self, client):
+        first = client.upload_chunked(GRAPH)
+        assert first["known"] in (False, True)
+        again = client.upload_chunked(GRAPH)
+        assert again["known"] is True
+        assert again["complete"] is True
+        client.discard(first["digest"])
+
+    def test_weighted_chunked_roundtrip(self, client):
+        weighted = weights_by_name(GRAPH, "uniform:0.5,2.0", seed=2)
+        response = client.upload_chunked(weighted, chunk_bytes=4096)
+        assert response["weighted"] is True
+        assert response["digest"] == graph_digest(weighted)
+        client.discard(response["digest"])
+
+    def test_digest_mismatch_rejected_and_spool_cleaned(
+        self, chunked_server, client
+    ):
+        graph = grid_2d(6, 6)
+        flats = [
+            np.ascontiguousarray(a).view(np.uint8).reshape(-1)
+            for a in graph.csr_arrays().values()
+        ]
+        payload = b"".join(f.tobytes() for f in flats)
+        manifest = [
+            {"name": name, "dtype": "<i8", "shape": [int(a.shape[0])]}
+            for name, a in graph.csr_arrays().items()
+        ]
+        bogus = "0" * 64
+        begin = client._call(
+            {
+                "op": "upload_begin",
+                "graph_class": "CSRGraph",
+                "digest": bogus,
+                "arrays": manifest,
+                "payload_sha256": hashlib.sha256(payload).hexdigest(),
+                "total_bytes": len(payload),
+            }
+        )
+        assert begin["known"] is False
+        client._call(
+            {
+                "op": "upload_chunk",
+                "upload_id": bogus,
+                "offset": 0,
+                "data": np.frombuffer(payload, dtype=np.uint8),
+            }
+        )
+        with pytest.raises(ServeError, match="digest mismatch"):
+            client._call({"op": "upload_commit", "upload_id": bogus})
+        assert _spool_bytes(chunked_server) == 0
+        assert bogus not in chunked_server._store.digests
+
+    def test_abort_unlinks_spool_file(self, chunked_server, client):
+        graph = grid_2d(7, 7)
+        digest = graph_digest(graph)
+        arrays = graph.csr_arrays()
+        manifest = [
+            {"name": name, "dtype": "<i8", "shape": [int(a.shape[0])]}
+            for name, a in arrays.items()
+        ]
+        total = sum(a.nbytes for a in arrays.values())
+        client._call(
+            {
+                "op": "upload_begin",
+                "graph_class": "CSRGraph",
+                "digest": digest,
+                "arrays": manifest,
+                "payload_sha256": "f" * 64,
+                "total_bytes": total,
+            }
+        )
+        assert _spool_bytes(chunked_server) > 0
+        response = client._call({"op": "upload_abort", "upload_id": digest})
+        assert response["aborted"] is True
+        assert _spool_bytes(chunked_server) == 0
+
+    def test_commit_before_complete_is_an_error(self, client):
+        graph = grid_2d(5, 5)
+        digest = graph_digest(graph)
+        arrays = graph.csr_arrays()
+        manifest = [
+            {"name": name, "dtype": "<i8", "shape": [int(a.shape[0])]}
+            for name, a in arrays.items()
+        ]
+        client._call(
+            {
+                "op": "upload_begin",
+                "graph_class": "CSRGraph",
+                "digest": digest,
+                "arrays": manifest,
+                "payload_sha256": "e" * 64,
+                "total_bytes": sum(a.nbytes for a in arrays.values()),
+            }
+        )
+        with pytest.raises(ServeError, match="before the payload"):
+            client._call({"op": "upload_commit", "upload_id": digest})
+        client._call({"op": "upload_abort", "upload_id": digest})
+
+    def test_chunk_beyond_received_prefix_is_a_gap_error(self, client):
+        graph = grid_2d(5, 5)
+        digest = graph_digest(graph)
+        arrays = graph.csr_arrays()
+        manifest = [
+            {"name": name, "dtype": "<i8", "shape": [int(a.shape[0])]}
+            for name, a in arrays.items()
+        ]
+        client._call(
+            {
+                "op": "upload_begin",
+                "graph_class": "CSRGraph",
+                "digest": digest,
+                "arrays": manifest,
+                "payload_sha256": "d" * 64,
+                "total_bytes": sum(a.nbytes for a in arrays.values()),
+            }
+        )
+        with pytest.raises(ServeError, match="gap"):
+            client._call(
+                {
+                    "op": "upload_chunk",
+                    "upload_id": digest,
+                    "offset": 8,
+                    "data": np.zeros(8, dtype=np.uint8),
+                }
+            )
+        client._call({"op": "upload_abort", "upload_id": digest})
+
+
+class TestDiscardUnlinksBacking:
+    def test_spool_bytes_return_to_zero_after_discard(
+        self, chunked_server, client
+    ):
+        graph = erdos_renyi(70, 0.1, seed=9)
+        response = client.upload_chunked(graph, chunk_bytes=8192)
+        assert _spool_bytes(chunked_server) > 0
+        client.discard(response["digest"])
+        assert _spool_bytes(chunked_server) == 0
+        assert chunked_server._pool.stats()["backing_mmap"] == 0
+
+
+class TestAdvertising:
+    def test_hello_names_backings_and_chunk_size(self, client):
+        hello = client.hello()
+        assert hello["graph_backings"] == ["mmap", "ram", "shm"]
+        assert hello["upload_chunk_bytes"] > 0
+
+    def test_stats_counts_uploads_in_progress_and_backings(self, client):
+        stats = client.stats()
+        assert "uploads_in_progress" in stats["server"]
+        for key in ("backing_ram", "backing_shm", "backing_mmap"):
+            assert key in stats["pool"]
+
+
+class TestOversizeFrameGuidance:
+    def test_frame_ceiling_error_names_the_chunked_ops(self):
+        with pytest.raises(ServeError, match="upload_begin"):
+            _check_frame_size(MAX_FRAME_BYTES + 1)
